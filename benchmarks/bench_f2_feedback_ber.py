@@ -1,0 +1,54 @@
+"""F2 — Feedback-channel BER vs distance.
+
+Paper claim: the low-rate feedback channel, decoded at the *transmitting*
+device by averaging over feedback-bit periods (gated on its own off
+samples), works at least as far as the data channel — the averaging gain
+of the asymmetry ratio makes it the more robust direction.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+from common import make_link, save_result, scene_at
+
+from repro.analysis.ber import measure_feedback_ber, measure_forward_ber
+from repro.analysis.reporting import format_table
+
+DISTANCES_M = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0]
+
+
+def run_f2():
+    cfg, link, channel = make_link()
+    rows = []
+    for d in DISTANCES_M:
+        scene = scene_at(d)
+        fb = measure_feedback_ber(
+            link, channel, scene, bits_per_trial=512,
+            min_errors=15, max_trials=20, min_trials=6, rng=20,
+        )
+        fwd = measure_forward_ber(
+            link, channel, scene, bits_per_trial=512,
+            min_errors=15, max_trials=8, min_trials=4, rng=20,
+        )
+        rows.append((d, fb.rate, fwd.rate, fb.errors, fb.trials))
+    return rows
+
+
+def bench_f2_feedback_ber(benchmark):
+    rows = benchmark.pedantic(run_f2, rounds=1, iterations=1)
+    table = format_table(
+        ["distance_m", "feedback_ber", "forward_ber",
+         "fb_errors", "fb_bits"],
+        rows,
+    )
+    save_result("f2_feedback_ber", table)
+
+    # Shape: at every distance where the data channel still works at all
+    # (forward BER < 10 %), the feedback channel is at least as good.
+    for _, fb_ber, fwd_ber, _, _ in rows:
+        if fwd_ber < 0.1:
+            assert fb_ber <= fwd_ber + 1e-9
+    # And the feedback channel is error-free well beyond the data
+    # channel's comfortable range.
+    assert rows[2][1] == 0.0  # 2 m

@@ -1,0 +1,89 @@
+"""F6 — Self-interference handling ablation at the receiving tag.
+
+Paper claim: a device's own slow feedback switching would wreck naive
+reception, but (a) the adaptive moving-average threshold absorbs it for
+threshold-based decoding, and (b) the known-state digital compensation
+removes it entirely.  The ablation decodes the same exchanges with each
+mechanism disabled.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+import numpy as np
+
+from common import make_link, save_result, scene_at
+
+from repro.analysis.reporting import format_table
+from repro.fullduplex.selfinterference import residual_self_interference
+from repro.utils.rng import random_bits
+
+TRIALS = 8
+
+
+def run_f6():
+    scene = scene_at(0.75)
+    variants = {
+        "compensated": make_link(self_compensation=True),
+        "uncompensated": make_link(self_compensation=False),
+    }
+    rows = []
+    residuals = {}
+    for name, (cfg, link, channel) in variants.items():
+        errors = 0
+        total = 0
+        for t in range(TRIALS):
+            rng = np.random.default_rng(60 + t)
+            gains = channel.realize(scene, rng)
+            data = random_bits(np.random.default_rng(70 + t), 512)
+            fb = random_bits(np.random.default_rng(80 + t), 8)
+            decoded, _, _ = link.run_raw_bits(gains, data, fb, rng=rng)
+            errors += int(np.count_nonzero(decoded != data))
+            total += data.size
+        rows.append((name, errors / total, errors, total))
+
+        # Residual self-interference metric on one exchange's envelope.
+        from repro.fullduplex.feedback import feedback_waveform
+        from repro.phy import BackscatterReceiver, BackscatterTransmitter
+        from repro.hardware.reflection import ReflectionModulator
+
+        rng = np.random.default_rng(99)
+        gains = channel.realize(scene, rng)
+        phy = cfg.phy
+        data = random_bits(rng, 256)
+        tx = BackscatterTransmitter(phy)
+        wf = tx.transmit_bits(data)
+        fb_wave = feedback_waveform(
+            random_bits(rng, wf.num_samples // cfg.samples_per_feedback_bit),
+            cfg,
+        )
+        chips_b = np.zeros(wf.num_samples, dtype=np.uint8)
+        chips_b[: fb_wave.size] = fb_wave
+        mod = ReflectionModulator(states=tx.states, samples_per_chip=1)
+        ambient = link.source.samples(wf.num_samples, rng)
+        incident = gains.received(
+            "bob", ambient, {"alice": mod.reflection_waveform(
+                wf.chip_waveform)}, rng=rng,
+        )
+        rx = BackscatterReceiver(phy, self_compensation=(name == "compensated"))
+        env = rx.envelope(incident, own_chip_waveform=chips_b)
+        residuals[name] = residual_self_interference(env, chips_b)
+    return rows, residuals
+
+
+def bench_f6_self_interference(benchmark):
+    rows, residuals = benchmark.pedantic(run_f6, rounds=1, iterations=1)
+    table = format_table(["variant", "data_ber", "errors", "bits"], rows)
+    table += "\n\nresidual self-interference (level gap / mean envelope):\n"
+    for name, value in residuals.items():
+        table += f"  {name}: {value:.4f}\n"
+    save_result("f6_self_interference", table)
+
+    ber = {name: b for name, b, _, _ in rows}
+    # Shape 1: compensation eliminates the error floor.
+    assert ber["compensated"] < 1e-3
+    # Shape 2: without it, the floor is visible (more errors).
+    assert ber["uncompensated"] > ber["compensated"]
+    # Shape 3: the residual metric confirms the mechanism.
+    assert residuals["compensated"] < 0.1 * residuals["uncompensated"]

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench follows the same pattern: run the experiment once inside
+``benchmark.pedantic`` (timing is incidental — the table is the product),
+print the table/series the paper's figure would show, save it under
+``benchmarks/results/``, and assert the *shape* criterion recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.ambient import OfdmLikeSource
+from repro.channel import ChannelModel, Scene
+from repro.fullduplex import FullDuplexConfig, FullDuplexLink
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+def make_link(
+    asymmetry_ratio: int = 64,
+    self_compensation: bool = True,
+    bit_rate_bps: float = 1_000.0,
+) -> tuple[FullDuplexConfig, FullDuplexLink, ChannelModel]:
+    """The calibrated default link stack used across benches."""
+    from repro.phy import PhyConfig
+
+    phy = PhyConfig(bit_rate_bps=bit_rate_bps)
+    cfg = FullDuplexConfig(
+        phy=phy,
+        asymmetry_ratio=asymmetry_ratio,
+        self_compensation=self_compensation,
+    )
+    source = OfdmLikeSource(sample_rate_hz=phy.sample_rate_hz,
+                            bandwidth_hz=200e3)
+    return cfg, FullDuplexLink(cfg, source), ChannelModel()
+
+
+def scene_at(distance_m: float) -> Scene:
+    """Two-device scene at a tag separation."""
+    return Scene.two_device_line(device_separation_m=distance_m)

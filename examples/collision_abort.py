@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Early collision abort — the paper's motivating scenario.
+
+Part 1 (sample level): while Bob receives Alice's packet, a third tag
+(Carol) starts backscattering mid-packet.  Bob's in-reception margin
+detector notices within a few bits, flips his feedback stream from ACK
+to NACK, and Alice — decoding the feedback as she transmits — aborts.
+
+Part 2 (protocol level): the same mechanism, run over thousands of
+packets in a contended network, compared against half-duplex ARQ.
+
+Run:  python examples/collision_abort.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChannelModel,
+    FullDuplexConfig,
+    OfdmLikeSource,
+    Scene,
+    random_bits,
+)
+from repro.fullduplex import FeedbackProtocol, MarginCollapseDetector
+from repro.hardware.energy import EnergyModel
+from repro.mac.node import run_policy_comparison
+from repro.mac.simulator import SimulationConfig
+from repro.mac.traffic import BernoulliLoss
+from repro.phy import BackscatterReceiver, BackscatterTransmitter
+
+
+def sample_level_demo() -> None:
+    print("== part 1: one collision, observed at the sample level ==")
+    config = FullDuplexConfig()
+    phy = config.phy
+    source = OfdmLikeSource(sample_rate_hz=phy.sample_rate_hz,
+                            bandwidth_hz=200e3)
+    rng = np.random.default_rng(7)
+
+    scene = Scene.two_device_line(device_separation_m=0.5)
+    scene.place("carol", 0.3, 0.4)
+    gains = ChannelModel().realize(scene, rng)
+
+    # Alice sends 190 bits; Carol collides from bit 64.
+    packet_bits = 190
+    onset_bit = 64
+    tx = BackscatterTransmitter(phy)
+    wf = tx.transmit_bits(random_bits(rng, 192))
+    n = wf.num_samples
+    collider = BackscatterTransmitter(phy).transmit_bits(random_bits(rng, 192))
+    gamma_c = np.zeros(n)
+    start = onset_bit * phy.samples_per_bit
+    seg = collider.reflection_waveform[: n - start]
+    gamma_c[start : start + seg.size] = seg
+
+    ambient = source.samples(n, rng)
+    incident = gains.received(
+        "bob", ambient,
+        {"alice": wf.reflection_waveform, "carol": gamma_c}, rng=rng,
+    )
+
+    # Bob's receive chain + margin monitor.
+    rx = BackscatterReceiver(phy)
+    env = rx.envelope(incident)
+    soft = rx.soft_chips(env, phy.detector_delay_samples, packet_bits * 2)
+    margins = np.abs(soft[0::2] - soft[1::2])
+    verdict = MarginCollapseDetector().run(margins)
+    print(f"collision starts at data bit {onset_bit}")
+    print(f"detector fires at data bit  {verdict.detection_bit} "
+          f"(latency {verdict.detection_bit - onset_bit} bits)")
+
+    # The feedback protocol turns detection into an abort.
+    protocol = FeedbackProtocol(config=config, energy=EnergyModel())
+    stream = protocol.feedback_stream(
+        num_slots=packet_bits // config.asymmetry_ratio + 1,
+        detection_bit=verdict.detection_bit,
+    )
+    print(f"bob's feedback stream       {stream.tolist()}  (1=ACK, 0=NACK)")
+    verdict2 = protocol.verdict(
+        packet_bits=1024, corrupted=True,
+        detection_bit=verdict.detection_bit,
+    )
+    saved = 1.0 - verdict2.bits_transmitted / 1024
+    print(f"on a 1024-bit packet alice would stop at bit "
+          f"{verdict2.bits_transmitted} — {saved:.0%} of the transmit "
+          f"energy saved\n")
+
+
+def protocol_level_demo() -> None:
+    print("== part 2: the same mechanism over a contended network ==")
+    cfg = SimulationConfig(
+        num_links=10, arrival_rate_pps=0.3, horizon_seconds=120.0,
+        payload_bytes=64, loss=BernoulliLoss(0.05),
+    )
+    results = run_policy_comparison(cfg, seed=11)
+    print(f"{'policy':10s} {'goodput':>10s} {'delivery':>9s} "
+          f"{'tx energy':>10s} {'aborted':>8s}")
+    for name, metrics in results.items():
+        print(
+            f"{name:10s} {metrics.goodput_bps:8.1f}bps "
+            f"{metrics.delivery_ratio:8.1%} "
+            f"{metrics.total_tx_energy_joule * 1e6:8.2f}uJ "
+            f"{metrics.abort_fraction:8.1%}"
+        )
+    hd = results["hd-arq"]
+    fd = results["fd-abort"]
+    print(f"\nfd-abort vs hd-arq: "
+          f"{fd.goodput_bps / hd.goodput_bps:.2f}x goodput, "
+          f"{hd.total_tx_energy_joule / fd.total_tx_energy_joule:.2f}x "
+          f"less transmit energy")
+
+
+if __name__ == "__main__":
+    sample_level_demo()
+    protocol_level_demo()

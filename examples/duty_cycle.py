@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Energy-neutral duty cycling: how often can a battery-free tag report?
+
+A tag stores harvested energy in a small capacitor and may only start a
+packet it can pay for (with a brown-out reserve).  This example runs the
+admission controller over an hour of simulated harvesting for three
+link-layer policies, using per-delivered-packet costs measured by the
+protocol simulator — closing the loop of the paper's energy argument:
+cheaper failures → shorter waits → higher sustainable report rates.
+
+Run:  python examples/duty_cycle.py
+"""
+
+from repro.hardware.dutycycle import (
+    EnergyNeutralController,
+    sustainable_packet_rate,
+)
+from repro.hardware.energy import EnergyModel
+from repro.mac.arq import HalfDuplexArqPolicy, NoArqPolicy
+from repro.mac.fdmac import FullDuplexAbortPolicy
+from repro.mac.resume import ResumeFromAbortPolicy
+from repro.mac.simulator import NetworkSimulator, SimulationConfig
+from repro.mac.traffic import BernoulliLoss
+
+#: Long-run harvest income measured at 0.5 m (see sensor_network.py).
+HARVEST_RATE_WATT = 50e-9
+
+#: One hour of wall-clock operation.
+HORIZON_S = 3600.0
+
+
+def measured_packet_cost(policy_factory) -> float:
+    """Transmitter-side energy per *delivered* packet [J] under 25 %
+    loss, from the protocol simulator.  The transmitting tag is the
+    capacitor-constrained device this study duty-cycles."""
+    cfg = SimulationConfig(num_links=1, arrival_rate_pps=0.5,
+                           horizon_seconds=200.0, payload_bytes=64,
+                           loss=BernoulliLoss(0.25))
+    metrics = NetworkSimulator(config=cfg, policy_factory=policy_factory,
+                               energy=EnergyModel()).run(rng=9)
+    delivered = sum(n.delivered_packets for n in metrics.nodes)
+    if not delivered:
+        return float("inf")
+    return metrics.total_tx_energy_joule / delivered
+
+
+def duty_cycle_run(cost_joule: float) -> tuple[int, float]:
+    """Simulate one hour of harvest-and-report; returns (packets sent,
+    deferral ratio).  A 220 uF capacitor swinging ~2 V stores about
+    1 uJ of usable energy."""
+    ctrl = EnergyNeutralController(capacity_joule=1e-6,
+                                   reserve_joule=1e-7)
+    sent = 0
+    t = 0.0
+    while t < HORIZON_S:
+        wait = ctrl.wait_for(cost_joule, HARVEST_RATE_WATT)
+        if wait == float("inf"):
+            break
+        ctrl.harvest_for(wait + 0.1, HARVEST_RATE_WATT)
+        t += wait + 0.1
+        if ctrl.admit(cost_joule):
+            sent += 1
+    return sent, ctrl.deferral_ratio
+
+
+def main() -> None:
+    policies = {
+        "no-arq": NoArqPolicy,
+        "hd-arq": HalfDuplexArqPolicy,
+        "fd-abort": FullDuplexAbortPolicy,
+        "fd-resume": ResumeFromAbortPolicy,
+    }
+    print(f"harvest income: {HARVEST_RATE_WATT * 1e9:.0f} nW, "
+          f"horizon: {HORIZON_S:.0f} s\n")
+    print(f"{'policy':10s} {'nJ/delivered':>13s} {'bound pkt/h':>12s} "
+          f"{'sent in 1 h':>12s}")
+    for name, factory in policies.items():
+        cost = measured_packet_cost(factory)
+        bound = sustainable_packet_rate(cost, HARVEST_RATE_WATT) * 3600
+        sent, _ = duty_cycle_run(cost)
+        print(f"{name:10s} {cost * 1e9:11.0f} {bound:12.0f} {sent:12d}")
+    print("\ncheaper failures mean shorter capacitor-recharge waits: the "
+          "full-duplex policies report measurably more often from the "
+          "same ambient income.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: one full-duplex backscatter exchange, end to end.
+
+Two battery-free tags, half a metre apart, ride a TV-broadcast-like
+ambient signal.  Alice backscatters a framed data packet to Bob at
+1 kbps; *simultaneously*, Bob backscatters a feedback stream to Alice at
+1/64 of the rate.  Both directions decode, and both devices harvest
+energy from the same ambient field throughout.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChannelModel,
+    FullDuplexConfig,
+    FullDuplexLink,
+    OfdmLikeSource,
+    Scene,
+    random_bits,
+    random_frame,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2013)
+
+    # 1. The link configuration: default PHY (1 kbps Manchester over a
+    #    256 kHz simulation), asymmetry ratio r = 64.
+    config = FullDuplexConfig()
+    print(f"data rate      : {config.phy.bit_rate_bps:.0f} bit/s")
+    print(f"feedback rate  : {config.feedback_rate_bps:.1f} bit/s "
+          f"(r = {config.asymmetry_ratio})")
+
+    # 2. The ambient excitation: a synthetic TV-mux-like wideband source.
+    source = OfdmLikeSource(
+        sample_rate_hz=config.phy.sample_rate_hz, bandwidth_hz=200e3
+    )
+
+    # 3. The scene: tags 0.5 m apart, the broadcast tower ~1 km away.
+    scene = Scene.two_device_line(device_separation_m=0.5)
+    channel = ChannelModel()
+    gains = channel.realize(scene, rng)
+    print(f"ambient at bob : "
+          f"{10 * np.log10(gains.direct_power('bob')) + 30:.1f} dBm")
+
+    # 4. One exchange: a 64-byte frame from Alice (557 bits of airtime —
+    #    room for 6 feedback payload bits after the polarity pilot),
+    #    with Bob's feedback riding on top of it.
+    link = FullDuplexLink(config, source)
+    frame = random_frame(64, rng)
+    feedback = random_bits(rng, 6)
+    exchange = link.run(gains, frame, feedback, rng=rng)
+
+    # 5. Results.
+    print(f"frame delivered: {exchange.data_delivered}")
+    payload_ok = exchange.data_delivered and np.array_equal(
+        exchange.data_result.frame.payload_bits, frame.payload_bits
+    )
+    print(f"payload intact : {payload_ok}")
+    print(f"feedback sent  : {exchange.feedback_sent.tolist()}")
+    print(f"feedback decoded at alice: {exchange.feedback_decoded.tolist()}")
+    print(f"feedback errors: {exchange.feedback_errors}")
+    print(f"harvested (alice): {exchange.harvested_a_joule * 1e9:.1f} nJ")
+    print(f"harvested (bob)  : {exchange.harvested_b_joule * 1e9:.1f} nJ")
+
+    if payload_ok and exchange.feedback_errors == 0:
+        print("\nfull duplex worked: data one way, feedback the other, "
+              "simultaneously, with no radio on either device.")
+
+
+if __name__ == "__main__":
+    main()

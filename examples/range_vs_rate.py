@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Range-vs-rate exploration, plus feedback-driven rate adaptation.
+
+Part 1 sweeps the tag separation at several bit rates and prints the
+frame-delivery matrix (the link-budget picture behind bench T1).
+
+Part 2 runs the :class:`repro.fullduplex.RateAdapter` over a link whose
+distance changes mid-run: with per-packet feedback the transmitter
+tracks the channel without any probing exchanges.
+
+Run:  python examples/range_vs_rate.py
+"""
+
+import numpy as np
+
+from repro import ChannelModel, FullDuplexConfig, FullDuplexLink, Scene
+from repro.ambient import OfdmLikeSource
+from repro.analysis.ber import measure_frame_delivery
+from repro.fullduplex.rateadapt import RateAdapter
+from repro.phy import PhyConfig
+
+
+def make_link(bit_rate_bps: float) -> tuple[FullDuplexLink, ChannelModel]:
+    phy = PhyConfig(bit_rate_bps=bit_rate_bps)
+    config = FullDuplexConfig(phy=phy)
+    source = OfdmLikeSource(sample_rate_hz=phy.sample_rate_hz,
+                            bandwidth_hz=200e3)
+    return FullDuplexLink(config, source), ChannelModel()
+
+
+def delivery_matrix() -> None:
+    print("== part 1: frame delivery vs distance and rate ==")
+    rates = [500.0, 1000.0, 2000.0, 4000.0]
+    distances = [0.5, 1.0, 2.0, 3.0]
+    print(f"{'rate':>8s}  " + "".join(f"{d:>7.1f}m" for d in distances))
+    for rate in rates:
+        link, channel = make_link(rate)
+        cells = []
+        for d in distances:
+            est = measure_frame_delivery(
+                link, channel, Scene.two_device_line(d),
+                payload_bytes=8, trials=6, rng=5,
+            )
+            cells.append(f"{1.0 - est.rate:7.0%} ")
+        print(f"{rate:6.0f}bps  " + "".join(cells))
+    print("(cells: fraction of frames delivered; lower rates reach "
+          "farther)\n")
+
+
+def rate_adaptation_run() -> None:
+    print("== part 2: feedback-driven rate adaptation ==")
+    from repro.channel import WaypointMobility
+
+    adapter = RateAdapter(rates_bps=(500.0, 1000.0, 2000.0, 4000.0),
+                          raise_after=3, start_index=1)
+    rng = np.random.default_rng(17)
+    # One tag walks away and returns over 60 packet-times: separation
+    # swings 0.75 m -> 2.5 m -> 0.75 m.
+    trajectory = WaypointMobility.back_and_forth(near_m=0.75, far_m=2.5,
+                                                 period_s=60.0)
+    print(f"{'pkt':>4s} {'dist':>6s} {'rate':>8s} {'delivered':>9s}")
+    for packet in range(60):
+        distance = trajectory.distance_to((0.0, 0.0), float(packet))
+        link, channel = make_link(adapter.current_rate_bps)
+        est = measure_frame_delivery(
+            link, channel, Scene.two_device_line(distance),
+            payload_bytes=8, trials=1, rng=rng,
+        )
+        delivered = est.errors == 0
+        if packet % 5 == 0 or not delivered:
+            print(f"{packet:4d} {distance:5.2f}m "
+                  f"{adapter.current_rate_bps:6.0f}bps "
+                  f"{'yes' if delivered else 'NO':>9s}")
+        adapter.record(delivered)
+    used = [rate for rate, _ in adapter.history]
+    print(f"\nrates used: min {min(used):.0f}, max {max(used):.0f} bit/s")
+    ok = sum(1 for _, s in adapter.history if s)
+    print(f"delivery under mobility: {ok}/{len(adapter.history)} packets")
+    print("the adapter backs off when the tags drift apart and recovers "
+          "when they return — all signalled in-band by the feedback "
+          "channel.")
+
+
+if __name__ == "__main__":
+    delivery_matrix()
+    rate_adaptation_run()

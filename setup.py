@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 660 and needs `wheel`; offline boxes that lack
+it can fall back to `python setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""Measurement harnesses, theory references and report formatting.
+
+* :mod:`repro.analysis.ber` — Monte-Carlo BER/PER measurement over the
+  sample-level link;
+* :mod:`repro.analysis.montecarlo` — generic trial runners with error
+  budgets;
+* :mod:`repro.analysis.sweep` — parameter sweeps producing table rows;
+* :mod:`repro.analysis.theory` — closed-form references (Q function,
+  envelope-detection BER, ALOHA throughput, Wilson intervals) used to
+  sanity-check the simulators;
+* :mod:`repro.analysis.throughput` — closed-form protocol economics
+  (expected energy / airtime per delivered packet) cross-checking the
+  event simulator;
+* :mod:`repro.analysis.reporting` — plain-text tables the benchmarks
+  print.
+"""
+
+from repro.analysis.ber import (
+    BerEstimate,
+    measure_feedback_ber,
+    measure_forward_ber,
+    measure_frame_delivery,
+)
+from repro.analysis.montecarlo import run_trials
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.sweep import Sweep1D, sweep1d
+from repro.analysis.theory import (
+    aloha_throughput,
+    ook_envelope_ber,
+    q_function,
+    wilson_interval,
+)
+from repro.analysis.throughput import (
+    expected_energy_per_delivered_fd,
+    expected_energy_per_delivered_hd,
+    goodput_ratio_fd_over_hd,
+)
+
+__all__ = [
+    "BerEstimate",
+    "Sweep1D",
+    "aloha_throughput",
+    "expected_energy_per_delivered_fd",
+    "expected_energy_per_delivered_hd",
+    "format_series",
+    "format_table",
+    "goodput_ratio_fd_over_hd",
+    "measure_feedback_ber",
+    "measure_forward_ber",
+    "measure_frame_delivery",
+    "ook_envelope_ber",
+    "q_function",
+    "run_trials",
+    "sweep1d",
+    "wilson_interval",
+]

@@ -1,0 +1,156 @@
+"""Monte-Carlo BER / PER measurement over the sample-level link.
+
+Each harness repeatedly runs a :class:`repro.fullduplex.link.FullDuplexLink`
+exchange over fresh channel/ambient/noise realisations and tallies
+errors.  Trials stop early once both an error budget and a trial floor
+are met, so sweeps spend their time on the interesting (low-error)
+points without starving the noisy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.theory import wilson_interval
+from repro.channel.geometry import Scene
+from repro.channel.link import ChannelModel
+from repro.fullduplex.link import FullDuplexLink
+from repro.phy.framing import random_frame
+from repro.utils.rng import ensure_rng, random_bits, spawn_rngs
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BerEstimate:
+    """A measured error rate with its sampling uncertainty.
+
+    Attributes
+    ----------
+    errors / trials:
+        Raw tallies (bits for BER, frames for PER).
+    """
+
+    errors: int
+    trials: int
+
+    @property
+    def rate(self) -> float:
+        """Point estimate ``errors / trials`` (0 for empty)."""
+        return self.errors / self.trials if self.trials else 0.0
+
+    @property
+    def confidence(self) -> tuple[float, float]:
+        """95 % Wilson interval on the rate."""
+        return wilson_interval(self.errors, self.trials)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lo, hi = self.confidence
+        return f"{self.rate:.3e} [{lo:.2e}, {hi:.2e}] ({self.errors}/{self.trials})"
+
+
+def _combine(a: BerEstimate, errors: int, trials: int) -> BerEstimate:
+    return BerEstimate(errors=a.errors + errors, trials=a.trials + trials)
+
+
+def measure_forward_ber(
+    link: FullDuplexLink,
+    channel: ChannelModel,
+    scene: Scene,
+    bits_per_trial: int = 256,
+    min_errors: int = 30,
+    max_trials: int = 200,
+    min_trials: int = 10,
+    feedback_enabled: bool = True,
+    rng=None,
+) -> BerEstimate:
+    """Raw data-direction (A→B) BER over fresh channel realisations.
+
+    ``feedback_enabled=False`` measures the half-duplex baseline on the
+    same draws — the F1 comparison arm.
+    """
+    check_positive("bits_per_trial", bits_per_trial)
+    gen = ensure_rng(rng)
+    estimate = BerEstimate(0, 0)
+    r = link.config.asymmetry_ratio
+    for trial in range(max_trials):
+        rng_ch, rng_bits, rng_run = spawn_rngs(gen, 3)
+        gains = channel.realize(scene, rng_ch)
+        data = random_bits(rng_bits, bits_per_trial)
+        fb = random_bits(rng_bits, max(1, bits_per_trial // r))
+        decoded, _, _ = link.run_raw_bits(
+            gains, data, fb, rng=rng_run, feedback_enabled=feedback_enabled
+        )
+        estimate = _combine(
+            estimate, int(np.count_nonzero(decoded != data)), data.size
+        )
+        if trial + 1 >= min_trials and estimate.errors >= min_errors:
+            break
+    return estimate
+
+
+def measure_feedback_ber(
+    link: FullDuplexLink,
+    channel: ChannelModel,
+    scene: Scene,
+    bits_per_trial: int = 256,
+    min_errors: int = 30,
+    max_trials: int = 200,
+    min_trials: int = 10,
+    rng=None,
+) -> BerEstimate:
+    """Feedback-direction (B→A) BER over fresh channel realisations."""
+    check_positive("bits_per_trial", bits_per_trial)
+    gen = ensure_rng(rng)
+    estimate = BerEstimate(0, 0)
+    r = link.config.asymmetry_ratio
+    for trial in range(max_trials):
+        rng_ch, rng_bits, rng_run = spawn_rngs(gen, 3)
+        gains = channel.realize(scene, rng_ch)
+        data = random_bits(rng_bits, bits_per_trial)
+        fb = random_bits(rng_bits, max(1, bits_per_trial // r))
+        _, fb_sent, fb_decoded = link.run_raw_bits(
+            gains, data, fb, rng=rng_run, feedback_enabled=True
+        )
+        estimate = _combine(
+            estimate,
+            int(np.count_nonzero(fb_sent != fb_decoded)),
+            fb_sent.size,
+        )
+        if trial + 1 >= min_trials and estimate.errors >= min_errors:
+            break
+    return estimate
+
+
+def measure_frame_delivery(
+    link: FullDuplexLink,
+    channel: ChannelModel,
+    scene: Scene,
+    payload_bytes: int = 16,
+    trials: int = 50,
+    feedback_enabled: bool = True,
+    rng=None,
+) -> BerEstimate:
+    """Framed packet-error rate (sync + decode + CRC) — "errors" counts
+    undelivered frames."""
+    check_positive("trials", trials)
+    gen = ensure_rng(rng)
+    failures = 0
+    for _ in range(trials):
+        rng_ch, rng_frame, rng_run = spawn_rngs(gen, 3)
+        gains = channel.realize(scene, rng_ch)
+        frame = random_frame(payload_bytes, rng_frame)
+        fb_count = max(
+            1,
+            (payload_bytes * 8 + 64) // link.config.asymmetry_ratio,
+        )
+        fb = random_bits(rng_frame, fb_count)
+        exchange = link.run(
+            gains, frame, fb, rng=rng_run, feedback_enabled=feedback_enabled
+        )
+        ok = exchange.data_delivered and np.array_equal(
+            exchange.data_result.frame.payload_bits, frame.payload_bits
+        )
+        failures += 0 if ok else 1
+    return BerEstimate(errors=failures, trials=trials)

@@ -1,0 +1,110 @@
+"""Simulator calibration invariants.
+
+The reproduction's absolute numbers are only meaningful while three
+calibration properties hold (DESIGN.md §6).  This module measures them
+so tests and downstream users can verify the operating point instead of
+trusting it:
+
+1. **ambient chip-mean stability** — the relative std of per-chip
+   ambient-envelope means (the noise floor the receiver integrates
+   against) stays in the low single-digit percents;
+2. **modulation depth at the design range** — the backscatter on/off
+   envelope contrast at 0.5 m exceeds that floor by a healthy factor;
+3. **noise margin** — the thermal floor sits far below the ambient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ambient.sources import AmbientSource
+from repro.channel.geometry import Scene
+from repro.channel.link import ChannelModel
+from repro.hardware.reflection import ReflectionStates
+from repro.phy.config import PhyConfig
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Measured calibration quantities (all dimensionless ratios).
+
+    Attributes
+    ----------
+    chip_mean_rel_std:
+        Relative std of per-chip ambient means (property 1).
+    modulation_depth:
+        Fractional envelope-power contrast between reflect and absorb
+        states at the probe distance (property 2).
+    depth_over_floor:
+        ``modulation_depth / chip_mean_rel_std`` — the per-chip decision
+        SNR proxy; > 2 means the operating point is healthy.
+    ambient_over_noise_db:
+        Direct ambient power over thermal noise at the device [dB].
+    """
+
+    chip_mean_rel_std: float
+    modulation_depth: float
+    depth_over_floor: float
+    ambient_over_noise_db: float
+
+    def healthy(self) -> bool:
+        """The three DESIGN.md calibration properties in one flag."""
+        return (
+            self.chip_mean_rel_std < 0.08
+            and self.depth_over_floor > 2.0
+            and self.ambient_over_noise_db > 20.0
+        )
+
+
+def calibration_report(
+    phy: PhyConfig,
+    source: AmbientSource,
+    channel: ChannelModel | None = None,
+    probe_distance_m: float = 0.5,
+    chips: int = 400,
+    rng=None,
+) -> CalibrationReport:
+    """Measure the calibration invariants of a PHY/source/channel stack."""
+    gen = ensure_rng(rng)
+    rng_amb, rng_ch = spawn_rngs(gen, 2)
+    model = channel if channel is not None else ChannelModel()
+    spc = phy.samples_per_chip
+
+    # 1. per-chip ambient stability.
+    wave = source.samples(chips * spc, rng_amb)
+    power = (wave * wave.conj()).real
+    chip_means = power.reshape(chips, spc).mean(axis=1)
+    rel_std = float(chip_means.std() / chip_means.mean())
+
+    # 2. modulation depth at the probe distance.
+    scene = Scene.two_device_line(device_separation_m=probe_distance_m)
+    gains = model.realize(scene, rng_ch)
+    states = ReflectionStates()
+    n = 64 * spc
+    ambient = source.samples(n, rng_amb)
+    on = gains.received(
+        "bob", ambient, {"alice": np.full(n, states.gamma_for(1))},
+        include_noise=False,
+    )
+    off = gains.received(
+        "bob", ambient, {"alice": np.full(n, states.gamma_for(0))},
+        include_noise=False,
+    )
+    p_on = float(np.mean((on * on.conj()).real))
+    p_off = float(np.mean((off * off.conj()).real))
+    depth = abs(p_on - p_off) / p_off if p_off else 0.0
+
+    # 3. ambient over noise.
+    direct = gains.direct_power("bob")
+    noise = max(gains.noise_power_watt, 1e-30)
+    ambient_over_noise_db = 10.0 * np.log10(direct / noise)
+
+    return CalibrationReport(
+        chip_mean_rel_std=rel_std,
+        modulation_depth=depth,
+        depth_over_floor=(depth / rel_std) if rel_std else float("inf"),
+        ambient_over_noise_db=float(ambient_over_noise_db),
+    )

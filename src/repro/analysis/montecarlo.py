@@ -1,0 +1,57 @@
+"""Generic Monte-Carlo trial plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Collected trial outputs plus bookkeeping."""
+
+    results: list
+    trials: int
+
+
+def run_trials(
+    fn: Callable[[object], T],
+    trials: int,
+    rng=None,
+    stop_when: Callable[[list[T]], bool] | None = None,
+) -> TrialSummary:
+    """Run ``fn(trial_rng)`` up to ``trials`` times with independent
+    generators.
+
+    ``stop_when(results)`` — checked after each trial — allows error-
+    budget early exit.  Results arrive in trial order.
+    """
+    check_positive("trials", trials)
+    gen = ensure_rng(rng)
+    rngs = spawn_rngs(gen, trials)
+    results: list[T] = []
+    for trial_rng in rngs:
+        results.append(fn(trial_rng))
+        if stop_when is not None and stop_when(results):
+            break
+    return TrialSummary(results=results, trials=len(results))
+
+
+def mean_and_stderr(values) -> tuple[float, float]:
+    """Sample mean and standard error of a sequence of floats."""
+    import math
+
+    xs = [float(v) for v in values]
+    n = len(xs)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(xs) / n
+    if n == 1:
+        return mean, 0.0
+    var = sum((x - mean) ** 2 for x in xs) / (n - 1)
+    return mean, math.sqrt(var / n)

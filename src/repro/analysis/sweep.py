@@ -1,0 +1,62 @@
+"""Parameter sweeps producing report-ready rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Sweep1D:
+    """One-dimensional sweep result.
+
+    Attributes
+    ----------
+    parameter:
+        Swept parameter name (e.g. ``"distance_m"``).
+    values:
+        Swept values in run order.
+    columns:
+        Metric name → list of measured values (parallel to ``values``).
+    """
+
+    parameter: str
+    values: list = field(default_factory=list)
+    columns: dict[str, list] = field(default_factory=dict)
+
+    def add_point(self, value, **metrics) -> None:
+        """Append one sweep point with its metric values."""
+        self.values.append(value)
+        for name, metric in metrics.items():
+            self.columns.setdefault(name, []).append(metric)
+        for name in self.columns:
+            if name not in metrics:
+                raise ValueError(f"metric {name!r} missing at value {value!r}")
+
+    def column(self, name: str) -> list:
+        """One metric's series across the sweep."""
+        return list(self.columns[name])
+
+    def rows(self) -> list[tuple]:
+        """``(value, *metrics)`` tuples in column order, for tables."""
+        names = list(self.columns)
+        return [
+            (v, *(self.columns[n][i] for n in names))
+            for i, v in enumerate(self.values)
+        ]
+
+    def header(self) -> list[str]:
+        """Column headers matching :meth:`rows`."""
+        return [self.parameter, *self.columns.keys()]
+
+
+def sweep1d(
+    parameter: str,
+    values,
+    fn: Callable[[object], dict],
+) -> Sweep1D:
+    """Evaluate ``fn(value) -> {metric: number}`` at each value."""
+    sweep = Sweep1D(parameter=parameter)
+    for value in values:
+        sweep.add_point(value, **fn(value))
+    return sweep

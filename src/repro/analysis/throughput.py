@@ -1,0 +1,105 @@
+"""Closed-form protocol economics.
+
+Independent stop-and-wait renewal analysis used to cross-check the event
+simulator on single-link scenarios (no contention, Bernoulli loss ``p``):
+
+* Half-duplex ARQ: every attempt costs a full packet; a success
+  additionally costs the turnaround + ACK exchange; expected attempts
+  per delivered packet is ``1/(1-p)`` (unbounded retries).
+* Full-duplex abort: a failed attempt costs only the bits up to the
+  abort point; success costs the packet plus the trailing feedback slot.
+
+These are renewal-reward results — the simulator should land within
+Monte-Carlo error of them, and the F5 bench prints both.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.theory import expected_abort_savings_fraction
+from repro.hardware.energy import EnergyModel
+from repro.utils.validation import check_probability
+
+
+def expected_attempts(loss_probability: float) -> float:
+    """Mean attempts per delivered packet with unbounded retries."""
+    check_probability("loss_probability", loss_probability)
+    if loss_probability >= 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - loss_probability)
+
+
+def expected_energy_per_delivered_hd(
+    loss_probability: float,
+    packet_bits: int,
+    ack_bits: int,
+    energy: EnergyModel,
+) -> float:
+    """Expected transmitter+receiver energy [J] per delivered packet
+    under half-duplex stop-and-wait ARQ (ACK assumed loss-free for the
+    closed form; the simulator models ACK loss too)."""
+    check_probability("loss_probability", loss_probability)
+    if packet_bits <= 0 or ack_bits < 0:
+        raise ValueError("packet_bits must be positive, ack_bits >= 0")
+    attempts = expected_attempts(loss_probability)
+    per_attempt = energy.tx_cost(packet_bits) + energy.rx_cost(packet_bits)
+    ack_exchange = energy.tx_cost(ack_bits) + energy.rx_cost(ack_bits)
+    # Every attempt pays the data cost; only the final (successful) one
+    # is followed by a decoded ACK, but the receiver ACKs every correct
+    # reception — with loss-free ACKs, exactly one ACK happens.
+    return attempts * per_attempt + ack_exchange
+
+
+def expected_energy_per_delivered_fd(
+    loss_probability: float,
+    packet_bits: int,
+    asymmetry_ratio: int,
+    detection_latency_bits: int,
+    energy: EnergyModel,
+) -> float:
+    """Expected energy [J] per delivered packet under full-duplex early
+    abort (uniform corruption onset)."""
+    check_probability("loss_probability", loss_probability)
+    if packet_bits <= 0:
+        raise ValueError("packet_bits must be positive")
+    attempts = expected_attempts(loss_probability)
+    saved = expected_abort_savings_fraction(
+        asymmetry_ratio, detection_latency_bits, packet_bits
+    )
+    failed_bits = packet_bits * (1.0 - saved)
+    fb_per_bit = energy.feedback_bit_joule / asymmetry_ratio
+    cost_success = (
+        energy.tx_cost(packet_bits)
+        + energy.rx_cost(packet_bits)
+        + fb_per_bit * packet_bits
+    )
+    cost_failure = (
+        energy.tx_cost(1) * failed_bits
+        + energy.rx_cost(1) * failed_bits
+        + fb_per_bit * failed_bits
+    )
+    failures = attempts - 1.0
+    return cost_success + failures * cost_failure
+
+
+def goodput_ratio_fd_over_hd(
+    loss_probability: float,
+    packet_bits: int,
+    ack_bits: int,
+    turnaround_bits: int,
+    asymmetry_ratio: int,
+    detection_latency_bits: int,
+) -> float:
+    """Closed-form goodput ratio of FD-abort over HD-ARQ on a saturated
+    single link (airtime renewal argument)."""
+    check_probability("loss_probability", loss_probability)
+    attempts = expected_attempts(loss_probability)
+    saved = expected_abort_savings_fraction(
+        asymmetry_ratio, detection_latency_bits, packet_bits
+    )
+    hd_time = attempts * (packet_bits + turnaround_bits + ack_bits)
+    fd_time = (
+        packet_bits
+        + asymmetry_ratio  # trailing ACK slot
+        + (attempts - 1.0) * packet_bits * (1.0 - saved)
+    )
+    return hd_time / fd_time

@@ -1,0 +1,100 @@
+"""Device mobility: time-varying positions for block-fading sequences.
+
+Block fading draws a fresh channel per packet; mobility decides *where*
+the devices are when each block is drawn.  :class:`WaypointMobility`
+moves a node piecewise-linearly through a list of timed waypoints — the
+standard model for "the user walks away and comes back" scenarios that
+rate adaptation must track.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.channel.geometry import Scene
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A position held from ``time_s`` until the next waypoint.
+
+    Attributes
+    ----------
+    time_s:
+        When the node is at (or starts moving toward) this position.
+    x, y:
+        Position in metres.
+    """
+
+    time_s: float
+    x: float
+    y: float
+
+
+class WaypointMobility:
+    """Piecewise-linear trajectory through timed waypoints.
+
+    Before the first waypoint the node sits at it; between waypoints the
+    position interpolates linearly; after the last it stays put.
+    """
+
+    def __init__(self, waypoints: list[Waypoint]):
+        if not waypoints:
+            raise ValueError("need at least one waypoint")
+        times = [w.time_s for w in waypoints]
+        if times != sorted(times):
+            raise ValueError("waypoints must be time-ordered")
+        if len(set(times)) != len(times):
+            raise ValueError("waypoint times must be distinct")
+        self._waypoints = list(waypoints)
+        self._times = times
+
+    def position(self, t: float) -> tuple[float, float]:
+        """Interpolated (x, y) at time ``t``."""
+        wps = self._waypoints
+        if t <= wps[0].time_s:
+            return wps[0].x, wps[0].y
+        if t >= wps[-1].time_s:
+            return wps[-1].x, wps[-1].y
+        i = bisect.bisect_right(self._times, t)
+        a, b = wps[i - 1], wps[i]
+        frac = (t - a.time_s) / (b.time_s - a.time_s)
+        return a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)
+
+    def apply(self, scene: Scene, name: str, t: float) -> None:
+        """Move node ``name`` in ``scene`` to its position at time ``t``."""
+        x, y = self.position(t)
+        scene.move(name, x, y)
+
+    def distance_to(self, other_xy: tuple[float, float], t: float) -> float:
+        """Distance [m] from the trajectory at ``t`` to a fixed point."""
+        import math
+
+        x, y = self.position(t)
+        return math.hypot(x - other_xy[0], y - other_xy[1])
+
+    @classmethod
+    def back_and_forth(
+        cls,
+        near_m: float,
+        far_m: float,
+        period_s: float,
+        along_x: bool = True,
+    ) -> "WaypointMobility":
+        """The canonical walk-away-and-return trajectory: start at
+        ``near_m`` from the origin, reach ``far_m`` at half period, and
+        return."""
+        if not 0 < near_m < far_m:
+            raise ValueError("need 0 < near_m < far_m")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+        def point(d: float) -> tuple[float, float]:
+            return (d, 0.0) if along_x else (0.0, d)
+
+        return cls([
+            Waypoint(0.0, *point(near_m)),
+            Waypoint(period_s / 2, *point(far_m)),
+            Waypoint(period_s, *point(near_m)),
+        ])

@@ -1,0 +1,148 @@
+"""Command-line interface: quick looks without writing a script.
+
+Three subcommands, all printing plain-text reports::
+
+    python -m repro.cli info                 # operating point + calibration
+    python -m repro.cli ber --distance 1.0   # both directions' BER at a range
+    python -m repro.cli mac --links 8        # protocol comparison table
+
+The CLI exists so a downstream user can sanity-check an install and
+explore the headline trade-offs before touching the API.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+
+def _make_stack(bit_rate_bps: float):
+    from repro.ambient import OfdmLikeSource
+    from repro.channel import ChannelModel
+    from repro.fullduplex import FullDuplexConfig, FullDuplexLink
+    from repro.phy import PhyConfig
+
+    phy = PhyConfig(bit_rate_bps=bit_rate_bps)
+    config = FullDuplexConfig(phy=phy)
+    source = OfdmLikeSource(sample_rate_hz=phy.sample_rate_hz,
+                            bandwidth_hz=200e3)
+    return config, FullDuplexLink(config, source), ChannelModel(), source
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print the operating point and the calibration report."""
+    from repro.analysis.calibration import calibration_report
+
+    config, _, channel, source = _make_stack(args.rate)
+    phy = config.phy
+    print("operating point")
+    print(f"  data rate        : {phy.bit_rate_bps:.0f} bit/s "
+          f"({phy.coding}, {phy.samples_per_chip} samples/chip)")
+    print(f"  feedback rate    : {config.feedback_rate_bps:.2f} bit/s "
+          f"(r = {config.asymmetry_ratio})")
+    print(f"  sample rate      : {phy.sample_rate_hz:.0f} Hz")
+    report = calibration_report(phy, source, channel, rng=0)
+    print("calibration")
+    print(f"  chip-mean rel std: {report.chip_mean_rel_std:.3f}")
+    print(f"  modulation depth : {report.modulation_depth:.3f} (at 0.5 m)")
+    print(f"  depth / floor    : {report.depth_over_floor:.1f}")
+    print(f"  ambient over noise: {report.ambient_over_noise_db:.0f} dB")
+    print(f"  healthy          : {report.healthy()}")
+    return 0
+
+
+def cmd_ber(args: argparse.Namespace) -> int:
+    """Measure both directions' BER at one distance."""
+    from repro.analysis.ber import measure_feedback_ber, measure_forward_ber
+    from repro.channel import Scene
+
+    _, link, channel, _ = _make_stack(args.rate)
+    scene = Scene.two_device_line(device_separation_m=args.distance)
+    fwd = measure_forward_ber(
+        link, channel, scene, bits_per_trial=256,
+        min_errors=20, max_trials=args.trials, min_trials=5, rng=args.seed,
+    )
+    fb = measure_feedback_ber(
+        link, channel, scene, bits_per_trial=256,
+        min_errors=20, max_trials=args.trials, min_trials=5, rng=args.seed,
+    )
+    print(f"distance {args.distance} m, rate {args.rate:.0f} bit/s")
+    print(f"  forward  BER: {fwd}")
+    print(f"  feedback BER: {fb}")
+    return 0
+
+
+def cmd_mac(args: argparse.Namespace) -> int:
+    """Run the protocol comparison on one contention scenario."""
+    from repro.analysis.reporting import format_table
+    from repro.mac.node import run_policy_comparison, standard_policies
+    from repro.mac.resume import ResumeFromAbortPolicy
+    from repro.mac.simulator import SimulationConfig
+    from repro.mac.traffic import BernoulliLoss
+
+    cfg = SimulationConfig(
+        num_links=args.links,
+        arrival_rate_pps=args.load,
+        horizon_seconds=args.horizon,
+        payload_bytes=64,
+        loss=BernoulliLoss(args.loss),
+    )
+    policies = standard_policies()
+    policies["fd-resume"] = lambda: ResumeFromAbortPolicy()
+    results = run_policy_comparison(cfg, policies=policies, seed=args.seed)
+    rows = [
+        (name,
+         m.goodput_bps,
+         m.delivery_ratio,
+         m.energy_per_delivered_bit * 1e9,
+         m.abort_fraction)
+        for name, m in results.items()
+    ]
+    print(format_table(
+        ["policy", "goodput_bps", "delivery", "nJ_per_bit", "aborts"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Full Duplex Backscatter (HotNets 2013) reproduction",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="experiment seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="operating point + calibration")
+    p_info.add_argument("--rate", type=float, default=1000.0,
+                        help="data rate [bit/s]")
+    p_info.set_defaults(func=cmd_info)
+
+    p_ber = sub.add_parser("ber", help="BER at one distance")
+    p_ber.add_argument("--distance", type=float, default=1.0,
+                       help="tag separation [m]")
+    p_ber.add_argument("--rate", type=float, default=1000.0)
+    p_ber.add_argument("--trials", type=int, default=15)
+    p_ber.set_defaults(func=cmd_ber)
+
+    p_mac = sub.add_parser("mac", help="protocol comparison")
+    p_mac.add_argument("--links", type=int, default=8)
+    p_mac.add_argument("--load", type=float, default=0.3,
+                       help="packet arrivals per second per link")
+    p_mac.add_argument("--loss", type=float, default=0.1)
+    p_mac.add_argument("--horizon", type=float, default=120.0)
+    p_mac.set_defaults(func=cmd_mac)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point (``python -m repro.cli``)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Envelope detection.
+
+An ambient backscatter receiver cannot afford a mixer or ADC running at RF
+— it detects the *envelope* of the incident waveform with a diode
+square-law detector and an RC smoothing stage, then compares the smoothed
+envelope against a threshold.  :func:`square_law_detector` models exactly
+that chain on complex-baseband samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import alpha_for_time_constant, single_pole_lowpass
+
+
+def envelope_power(x: np.ndarray) -> np.ndarray:
+    """Instantaneous power ``|x|^2`` of a complex baseband waveform."""
+    arr = np.asarray(x)
+    return (arr * arr.conj()).real if np.iscomplexobj(arr) else arr.astype(float) ** 2
+
+
+def square_law_detector(
+    x: np.ndarray,
+    sample_rate_hz: float,
+    smoothing_tau_seconds: float | None = None,
+) -> np.ndarray:
+    """Square-law envelope detector with optional RC smoothing.
+
+    Parameters
+    ----------
+    x:
+        Complex baseband samples at the antenna (after any reflection-state
+        gating — see :mod:`repro.hardware.tag`).
+    sample_rate_hz:
+        Simulation sample rate.
+    smoothing_tau_seconds:
+        RC time constant of the smoothing capacitor.  ``None`` disables
+        smoothing (ideal detector).  The ambient-backscatter design point
+        smooths over many carrier-envelope fluctuations but well under a
+        bit period, so the per-bit mean still tracks the reflection state.
+
+    Returns
+    -------
+    numpy.ndarray
+        Real, non-negative smoothed envelope-power samples.
+    """
+    power = envelope_power(x)
+    if smoothing_tau_seconds is None:
+        return power
+    alpha = alpha_for_time_constant(smoothing_tau_seconds, sample_rate_hz)
+    return single_pole_lowpass(power, alpha)

@@ -1,0 +1,39 @@
+"""Rate conversion between symbol streams of different rates.
+
+Full-duplex backscatter is built on *rate asymmetry*: the feedback stream
+switches ``r`` times slower than the data stream.  These helpers convert
+between the two clock domains at the sample level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def hold_resample(symbols: np.ndarray, total_samples: int) -> np.ndarray:
+    """Zero-order-hold a symbol sequence onto ``total_samples`` samples.
+
+    Each of the ``k`` symbols occupies a contiguous run of samples; when
+    ``total_samples`` is not a multiple of ``k`` the run lengths differ by
+    at most one sample (earlier symbols get the longer runs), mirroring a
+    free-running hardware divider.
+    """
+    check_positive("total_samples", total_samples)
+    arr = np.asarray(symbols)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("hold_resample expects a non-empty 1-D array")
+    edges = np.linspace(0, total_samples, arr.size + 1).round().astype(int)
+    return np.repeat(arr, np.diff(edges))
+
+
+def align_lengths(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Truncate two sample streams to their common length.
+
+    Concurrent data and feedback waveforms are generated independently and
+    can differ by a few samples from rounding; propagation combines them
+    over the overlap only.
+    """
+    n = min(len(a), len(b))
+    return np.asarray(a)[:n], np.asarray(b)[:n]

@@ -1,0 +1,96 @@
+"""Comparator thresholds.
+
+The receiving tag slices the smoothed envelope against a threshold to
+recover OOK chips.  Two strategies are modelled:
+
+* :class:`FixedThreshold` — a constant level, the strawman.  It fails
+  whenever the ambient level drifts, and in particular whenever the tag's
+  *own* slow feedback switching steps the received level (the self-
+  interference problem of full-duplex operation).
+* :class:`AdaptiveThreshold` — the paper's mechanism: a causal moving
+  average of the envelope itself.  Any level change slower than the window
+  (ambient drift, the tag's own feedback switching) is tracked into the
+  threshold and cancelled; the fast data switching of the remote
+  transmitter remains as excursions around it.
+
+The ablation benchmark ``bench_f6_self_interference`` compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.filters import moving_average
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FixedThreshold:
+    """Constant comparator level.
+
+    Attributes
+    ----------
+    level:
+        Absolute envelope-power threshold.  If ``None``, the level is set
+        once from the mean of the whole input (a "calibrated at boot"
+        comparator) — still non-adaptive during the packet.
+    """
+
+    level: float | None = None
+
+    def __call__(self, envelope: np.ndarray) -> np.ndarray:
+        arr = np.asarray(envelope, dtype=float)
+        level = float(arr.mean()) if self.level is None else self.level
+        return np.full_like(arr, level)
+
+
+@dataclass(frozen=True)
+class AdaptiveThreshold:
+    """Moving-average comparator threshold (the paper's receiver).
+
+    Attributes
+    ----------
+    window:
+        Averaging length in samples.  Must span several data bits (so the
+        data's 0/1 excursions average out to the midpoint) while staying
+        well under one feedback bit (so the tag's own slow switching is
+        tracked and removed).  The full-duplex link config picks
+        ``window ≈ 4 data bits`` by default.
+    scale:
+        Multiplicative trim on the average, modelling a comparator with a
+        built-in offset; 1.0 is the neutral design point.
+    """
+
+    window: int
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("window", self.window)
+        check_positive("scale", self.scale)
+
+    def __call__(self, envelope: np.ndarray) -> np.ndarray:
+        arr = np.asarray(envelope, dtype=float)
+        return self.scale * moving_average(arr, self.window)
+
+
+def adaptive_threshold(envelope: np.ndarray, window: int) -> np.ndarray:
+    """Functional shorthand for :class:`AdaptiveThreshold`."""
+    return AdaptiveThreshold(window=window)(envelope)
+
+
+def slice_bits(envelope: np.ndarray, threshold: np.ndarray) -> np.ndarray:
+    """Comparator: 1 where the envelope exceeds the threshold, else 0.
+
+    Returns a ``uint8`` chip stream at the envelope sample rate; bit-rate
+    decisions are made downstream by integrate-and-dump over a chip period
+    (see :mod:`repro.phy.receiver`).
+    """
+    env = np.asarray(envelope, dtype=float)
+    thr = np.asarray(threshold, dtype=float)
+    if env.shape != thr.shape:
+        raise ValueError(
+            f"envelope and threshold shapes differ: {env.shape} vs {thr.shape}"
+        )
+    return (env > thr).astype(np.uint8)

@@ -1,0 +1,67 @@
+"""Full-duplex backscatter — the paper's primary contribution.
+
+While device A backscatters a data frame to device B, device B
+simultaneously backscatters a low-rate feedback stream to A.  Rate
+asymmetry makes both directions decodable without any RF cancellation
+hardware:
+
+* **B decodes A's data while transmitting** because B's own slow
+  switching is a known, slowly varying gain step its receive chain
+  removes (:mod:`repro.fullduplex.selfinterference`);
+* **A decodes B's feedback while transmitting** because A averages its
+  envelope over feedback-bit periods, using only the samples where A's
+  own modulator is absorbing (:mod:`repro.fullduplex.feedback`).
+
+On top of the physical link (:mod:`repro.fullduplex.link`), the feedback
+channel carries live ACK/NACK semantics (:mod:`repro.fullduplex.protocol`)
+driven by in-reception collision detectors
+(:mod:`repro.fullduplex.collision`), and a rate-adaptation loop
+(:mod:`repro.fullduplex.rateadapt`).
+"""
+
+from repro.fullduplex.collision import (
+    CollisionVerdict,
+    CrcOnlyDetector,
+    EnergyAnomalyDetector,
+    MarginCollapseDetector,
+)
+from repro.fullduplex.config import FullDuplexConfig
+from repro.fullduplex.feedback import (
+    FeedbackDecoder,
+    feedback_bits_for_frame,
+    feedback_waveform,
+)
+from repro.fullduplex.link import FullDuplexExchange, FullDuplexLink
+from repro.fullduplex.protocol import (
+    ACK_BIT,
+    NACK_BIT,
+    FeedbackProtocol,
+    PacketVerdict,
+)
+from repro.fullduplex.rateadapt import RateAdapter
+from repro.fullduplex.selfinterference import (
+    compensate_envelope,
+    own_off_mask,
+    residual_self_interference,
+)
+
+__all__ = [
+    "ACK_BIT",
+    "CollisionVerdict",
+    "CrcOnlyDetector",
+    "EnergyAnomalyDetector",
+    "FeedbackDecoder",
+    "FeedbackProtocol",
+    "FullDuplexConfig",
+    "FullDuplexExchange",
+    "FullDuplexLink",
+    "MarginCollapseDetector",
+    "NACK_BIT",
+    "PacketVerdict",
+    "RateAdapter",
+    "compensate_envelope",
+    "feedback_bits_for_frame",
+    "feedback_waveform",
+    "own_off_mask",
+    "residual_self_interference",
+]

@@ -1,0 +1,68 @@
+"""Full-duplex link configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.phy.config import PhyConfig
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FullDuplexConfig:
+    """Parameters of one full-duplex exchange.
+
+    Attributes
+    ----------
+    phy:
+        Data-direction PHY (rates, coding, windows).
+    asymmetry_ratio:
+        ``r`` — data bits per feedback bit, the paper's central dial.
+        Each feedback bit occupies ``r`` data-bit periods; its Manchester
+        halves are ``r/2`` data bits each, so ``r`` must be an even
+        integer ≥ 2.  Large ``r`` buys feedback averaging gain and lowers
+        the residual disturbance on the data channel, at the price of
+        feedback latency (abort decisions come every ``r`` data bits).
+    feedback_decode:
+        ``"gated"`` (default) decodes feedback at the data transmitter
+        using only the samples where its own modulator is absorbing;
+        ``"raw"`` uses every sample (ablation: shows why gating by one's
+        own known transmission matters).
+    self_compensation:
+        Whether the data *receiver* applies the known-state digital
+        correction while it transmits feedback (see
+        :mod:`repro.fullduplex.selfinterference`).
+    """
+
+    phy: PhyConfig = field(default_factory=PhyConfig)
+    asymmetry_ratio: int = 64
+    feedback_decode: str = "gated"
+    self_compensation: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("asymmetry_ratio", self.asymmetry_ratio)
+        if self.asymmetry_ratio % 2 or self.asymmetry_ratio < 2:
+            raise ValueError(
+                f"asymmetry_ratio must be an even integer >= 2, "
+                f"got {self.asymmetry_ratio}"
+            )
+        if self.feedback_decode not in ("gated", "raw"):
+            raise ValueError(
+                f'feedback_decode must be "gated" or "raw", '
+                f"got {self.feedback_decode!r}"
+            )
+
+    @property
+    def samples_per_feedback_bit(self) -> int:
+        """Feedback bit duration in samples (``r`` data bits)."""
+        return self.asymmetry_ratio * self.phy.samples_per_bit
+
+    @property
+    def samples_per_feedback_half(self) -> int:
+        """One Manchester half of a feedback bit, in samples."""
+        return self.samples_per_feedback_bit // 2
+
+    @property
+    def feedback_rate_bps(self) -> float:
+        """Feedback bit rate = data rate / r."""
+        return self.phy.bit_rate_bps / self.asymmetry_ratio

@@ -1,0 +1,306 @@
+"""One simultaneous full-duplex exchange at the sample level.
+
+:class:`FullDuplexLink` wires everything together for a single
+(data-frame, feedback-stream) exchange between two devices over one
+channel realisation:
+
+1. A builds its data frame waveforms; B builds its feedback waveform,
+   trimmed/padded to the frame duration.
+2. The channel composes what each antenna sees — each side's received
+   field contains the ambient direct path plus the *other* side's
+   reflection (its own reflection acts through the front-end gating).
+3. B runs the standard receive chain on the data (passing its own
+   feedback waveform for self-gating and compensation); A runs the
+   feedback decoder (gated by its own data waveform).
+4. Both sides' harvested energy is accounted.
+
+The result object carries everything the benchmarks need: the data
+reception outcome, the decoded feedback bits, raw BER inputs, and the
+energy tallies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ambient.sources import AmbientSource
+from repro.channel.link import LinkGains
+from repro.fullduplex.config import FullDuplexConfig
+from repro.fullduplex.feedback import FeedbackDecoder, feedback_waveform
+from repro.hardware.reflection import ReflectionModulator, ReflectionStates
+from repro.phy.framing import Frame
+from repro.phy.receiver import BackscatterReceiver, ReceiveResult
+from repro.phy.transmitter import BackscatterTransmitter
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+#: Known data prefix used by the raw-bit harness to resolve backscatter
+#: polarity at the receiver (see :class:`repro.phy.sync.SyncResult`).
+DATA_PILOT_BITS = np.array([1, 0] * 8, dtype=np.uint8)
+
+#: Known feedback prefix used by the transmitter to resolve polarity on
+#: the feedback channel.
+FEEDBACK_PILOT_BITS = np.array([1, 0], dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class FullDuplexExchange:
+    """Outcome of one full-duplex exchange.
+
+    Attributes
+    ----------
+    data_result:
+        B's frame reception outcome.
+    feedback_sent / feedback_decoded:
+        The feedback bits B transmitted and A recovered (equal lengths).
+    data_bits_sent:
+        The exact over-the-air bits of A's frame (for raw BER checks).
+    harvested_a_joule / harvested_b_joule:
+        Energy each side harvested during the exchange.
+    """
+
+    data_result: ReceiveResult
+    feedback_sent: np.ndarray
+    feedback_decoded: np.ndarray
+    data_bits_sent: np.ndarray
+    harvested_a_joule: float
+    harvested_b_joule: float
+
+    @property
+    def feedback_errors(self) -> int:
+        """Number of feedback bits A decoded incorrectly."""
+        return int(
+            np.count_nonzero(self.feedback_sent != self.feedback_decoded)
+        )
+
+    @property
+    def data_delivered(self) -> bool:
+        """Whether B received the frame intact."""
+        return self.data_result.delivered
+
+
+@dataclass
+class FullDuplexLink:
+    """A ↔ B full-duplex link simulator.
+
+    Attributes
+    ----------
+    config:
+        Full-duplex parameters.
+    source:
+        Ambient excitation generator.
+    states_a / states_b:
+        Impedance states of each device (defaults shared).
+    device_a / device_b:
+        Scene node names of the two endpoints.
+    idle_pad_bits:
+        Quiet data-bit periods inserted before and after the frame (lets
+        the receiver's windows settle and gives sync room to miss).
+    """
+
+    config: FullDuplexConfig
+    source: AmbientSource
+    states_a: ReflectionStates = field(default_factory=ReflectionStates)
+    states_b: ReflectionStates = field(default_factory=ReflectionStates)
+    device_a: str = "alice"
+    device_b: str = "bob"
+    idle_pad_bits: int = 4
+
+    def run(
+        self,
+        gains: LinkGains,
+        frame: Frame,
+        feedback_bits: np.ndarray,
+        rng=None,
+        feedback_enabled: bool = True,
+    ) -> FullDuplexExchange:
+        """Simulate one exchange over a fixed channel realisation.
+
+        Parameters
+        ----------
+        gains:
+            One block's channel gains (from
+            :meth:`repro.channel.link.ChannelModel.realize`).
+        frame:
+            The data frame A transmits.
+        feedback_bits:
+            The feedback stream B transmits; trimmed to what fits in the
+            frame duration (see
+            :func:`repro.fullduplex.feedback.feedback_bits_for_frame`).
+        rng:
+            Randomness for the ambient waveform and noise.
+        feedback_enabled:
+            With False, B stays silent — the half-duplex baseline used by
+            the F1 benchmark's "feedback off" arm.
+        """
+        gen = ensure_rng(rng)
+        rng_src, rng_noise_a, rng_noise_b = spawn_rngs(gen, 3)
+        phy = self.config.phy
+        pad = self.idle_pad_bits * phy.samples_per_bit
+
+        tx_a = BackscatterTransmitter(phy, states=self.states_a)
+        wf = tx_a.transmit(frame)
+        total = wf.num_samples + 2 * pad
+
+        # A's switching waveform over the whole window (idle = absorbing).
+        chips_a = np.zeros(total, dtype=np.uint8)
+        chips_a[pad : pad + wf.num_samples] = wf.chip_waveform
+        mod_a = ReflectionModulator(states=self.states_a, samples_per_chip=1)
+        gamma_a = mod_a.reflection_waveform(chips_a)
+
+        # B's feedback switching, aligned to the frame start.  A known
+        # pilot prefix lets A resolve the feedback polarity sign.
+        fb_payload = np.asarray(feedback_bits).astype(np.uint8)
+        max_bits = wf.num_samples // self.config.samples_per_feedback_bit
+        pilot = FEEDBACK_PILOT_BITS
+        if max_bits > pilot.size:
+            fb_stream = np.concatenate(
+                [pilot, fb_payload[: max_bits - pilot.size]]
+            )
+        else:
+            fb_stream = np.empty(0, dtype=np.uint8)
+        chips_b = np.zeros(total, dtype=np.uint8)
+        if feedback_enabled and fb_stream.size:
+            fb_wave = feedback_waveform(fb_stream, self.config)
+            chips_b[pad : pad + fb_wave.size] = fb_wave
+        mod_b = ReflectionModulator(states=self.states_b, samples_per_chip=1)
+        gamma_b = mod_b.reflection_waveform(chips_b)
+
+        ambient = self.source.samples(total, rng_src)
+        incident_b = gains.received(
+            self.device_b, ambient, {self.device_a: gamma_a}, rng=rng_noise_b
+        )
+        incident_a = gains.received(
+            self.device_a, ambient, {self.device_b: gamma_b}, rng=rng_noise_a
+        )
+
+        # --- B: receive the data frame while transmitting feedback. ---
+        rx_b = BackscatterReceiver(
+            phy,
+            states=self.states_b,
+            self_compensation=self.config.self_compensation,
+        )
+        own_b = chips_b if feedback_enabled else None
+        data_result = rx_b.receive_frame(incident_b, own_chip_waveform=own_b)
+
+        # --- A: decode the feedback while transmitting the frame. ---
+        rx_a = BackscatterReceiver(phy, states=self.states_a)
+        env_a = rx_a.front_end.receive_envelope(incident_a, chips_a)
+        decoder = FeedbackDecoder(self.config)
+        if feedback_enabled and fb_stream.size:
+            decoded_stream = decoder.decode(
+                env_a,
+                num_bits=fb_stream.size,
+                own_chip_waveform=chips_a,
+                start_sample=pad + phy.detector_delay_samples,
+                pilot_bits=pilot,
+            )
+            decoded = decoded_stream[pilot.size :]
+            fb_bits = fb_stream[pilot.size :]
+        else:
+            decoded = np.empty(0, dtype=np.uint8)
+            fb_bits = np.empty(0, dtype=np.uint8)
+
+        # --- Energy harvested on both sides over the exchange. ---
+        harvested_a = rx_a.front_end.harvested_energy(incident_a, chips_a)
+        harvested_b = rx_b.front_end.harvested_energy(incident_b, chips_b)
+
+        from repro.phy.framing import build_frame
+
+        return FullDuplexExchange(
+            data_result=data_result,
+            feedback_sent=fb_bits,
+            feedback_decoded=decoded,
+            data_bits_sent=build_frame(frame, phy.warmup_bits),
+            harvested_a_joule=harvested_a,
+            harvested_b_joule=harvested_b,
+        )
+
+    def run_raw_bits(
+        self,
+        gains: LinkGains,
+        data_bits: np.ndarray,
+        feedback_bits: np.ndarray,
+        rng=None,
+        feedback_enabled: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Unframed exchange for BER sweeps: known alignment, no sync.
+
+        Returns ``(decoded_data_bits, feedback_sent, feedback_decoded)``
+        — the caller compares against its inputs.  Much faster than
+        framed exchanges because there is no preamble search.
+        """
+        gen = ensure_rng(rng)
+        rng_src, rng_noise_a, rng_noise_b = spawn_rngs(gen, 3)
+        phy = self.config.phy
+        pad = self.idle_pad_bits * phy.samples_per_bit
+
+        # A known pilot prefix resolves the backscatter polarity at both
+        # receivers (under fading, "reflect" can lower the envelope).
+        payload = np.asarray(data_bits).astype(np.uint8)
+        stream = np.concatenate([DATA_PILOT_BITS, payload])
+        tx_a = BackscatterTransmitter(phy, states=self.states_a)
+        wf = tx_a.transmit_bits(stream)
+        total = wf.num_samples + 2 * pad
+
+        chips_a = np.zeros(total, dtype=np.uint8)
+        chips_a[pad : pad + wf.num_samples] = wf.chip_waveform
+        mod_a = ReflectionModulator(states=self.states_a, samples_per_chip=1)
+        gamma_a = mod_a.reflection_waveform(chips_a)
+
+        fb_payload = np.asarray(feedback_bits).astype(np.uint8)
+        max_bits = wf.num_samples // self.config.samples_per_feedback_bit
+        fb_pilot = FEEDBACK_PILOT_BITS
+        if max_bits > fb_pilot.size:
+            fb_stream = np.concatenate(
+                [fb_pilot, fb_payload[: max_bits - fb_pilot.size]]
+            )
+        else:
+            fb_stream = np.empty(0, dtype=np.uint8)
+        chips_b = np.zeros(total, dtype=np.uint8)
+        if feedback_enabled and fb_stream.size:
+            fb_wave = feedback_waveform(fb_stream, self.config)
+            chips_b[pad : pad + fb_wave.size] = fb_wave
+        mod_b = ReflectionModulator(states=self.states_b, samples_per_chip=1)
+        gamma_b = mod_b.reflection_waveform(chips_b)
+
+        ambient = self.source.samples(total, rng_src)
+        incident_b = gains.received(
+            self.device_b, ambient, {self.device_a: gamma_a}, rng=rng_noise_b
+        )
+        incident_a = gains.received(
+            self.device_a, ambient, {self.device_b: gamma_b}, rng=rng_noise_a
+        )
+
+        rx_b = BackscatterReceiver(
+            phy,
+            states=self.states_b,
+            self_compensation=self.config.self_compensation,
+        )
+        own_b = chips_b if feedback_enabled else None
+        decoded_stream = rx_b.decode_aligned_bits(
+            incident_b,
+            num_bits=stream.size,
+            own_chip_waveform=own_b,
+            start_sample=pad,
+            pilot_bits=DATA_PILOT_BITS,
+        )
+        decoded_data = decoded_stream[DATA_PILOT_BITS.size :]
+
+        if feedback_enabled and fb_stream.size:
+            rx_a = BackscatterReceiver(phy, states=self.states_a)
+            env_a = rx_a.front_end.receive_envelope(incident_a, chips_a)
+            decoded_fb_stream = FeedbackDecoder(self.config).decode(
+                env_a,
+                num_bits=fb_stream.size,
+                own_chip_waveform=chips_a,
+                start_sample=pad + phy.detector_delay_samples,
+                pilot_bits=fb_pilot,
+            )
+            decoded_fb = decoded_fb_stream[fb_pilot.size :]
+            fb_bits = fb_stream[fb_pilot.size :]
+        else:
+            decoded_fb = np.empty(0, dtype=np.uint8)
+            fb_bits = np.empty(0, dtype=np.uint8)
+        return decoded_data, fb_bits, decoded_fb

@@ -1,0 +1,140 @@
+"""Reusable sample-level scenario builders.
+
+The collision experiments (benchmark A1, the collision example, several
+integration tests) all need the same setup: a two-device link with a
+third tag that starts backscattering mid-packet.  This module owns that
+construction so every consumer measures the same physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ambient.sources import AmbientSource
+from repro.channel.geometry import Scene
+from repro.channel.link import ChannelModel
+from repro.fullduplex.config import FullDuplexConfig
+from repro.phy.receiver import BackscatterReceiver
+from repro.phy.transmitter import BackscatterTransmitter
+from repro.utils.rng import ensure_rng, random_bits, spawn_rngs
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CollisionObservation:
+    """What the victim receiver saw during a (possibly collided)
+    reception.
+
+    Attributes
+    ----------
+    soft_chips:
+        Per-chip envelope integrals at the victim receiver, aligned to
+        the frame start.
+    margins:
+        Per-bit differential decision margins (Manchester half
+        differences) — the input to margin-based detectors.
+    data_bits:
+        The bits the intended transmitter sent.
+    decoded_bits:
+        The victim's decisions.
+    onset_bit:
+        Collision onset (data-bit index), or ``None`` for a clean run.
+    """
+
+    soft_chips: np.ndarray
+    margins: np.ndarray
+    data_bits: np.ndarray
+    decoded_bits: np.ndarray
+    onset_bit: int | None
+
+    @property
+    def bit_errors(self) -> int:
+        """Errors over the observed bits."""
+        return int(np.count_nonzero(self.data_bits != self.decoded_bits))
+
+
+def collision_scenario(
+    config: FullDuplexConfig,
+    source: AmbientSource,
+    rng=None,
+    packet_bits: int = 192,
+    onset_bit: int | None = 64,
+    link_distance_m: float = 0.5,
+    collider_position: tuple[float, float] = (0.3, 0.4),
+    channel: ChannelModel | None = None,
+) -> CollisionObservation:
+    """One reception at device ``bob`` with an optional mid-packet
+    collider.
+
+    Parameters
+    ----------
+    config:
+        Full-duplex configuration (only the PHY part is used here).
+    source:
+        Ambient excitation.
+    rng:
+        Seed / generator for channel, bits, ambient and noise.
+    packet_bits:
+        Length of the intended transmission.
+    onset_bit:
+        Data-bit index at which the collider starts; ``None`` disables
+        the collider (clean reception).
+    link_distance_m:
+        Intended-pair separation.
+    collider_position:
+        Collider coordinates relative to the pair's midpoint.
+    channel:
+        Channel model (defaults to the calibrated static default).
+    """
+    check_positive("packet_bits", packet_bits)
+    if onset_bit is not None and not 0 <= onset_bit < packet_bits:
+        raise ValueError("onset_bit must lie inside the packet")
+    gen = ensure_rng(rng)
+    rng_ch, rng_bits, rng_amb = spawn_rngs(gen, 3)
+    phy = config.phy
+    model = channel if channel is not None else ChannelModel()
+
+    scene = Scene.two_device_line(device_separation_m=link_distance_m)
+    scene.place("carol", *collider_position)
+    gains = model.realize(scene, rng_ch)
+
+    data_bits = random_bits(rng_bits, packet_bits)
+    tx = BackscatterTransmitter(phy)
+    wf = tx.transmit_bits(data_bits)
+    n = wf.num_samples
+    reflections = {"alice": wf.reflection_waveform}
+    if onset_bit is not None:
+        collider_wf = BackscatterTransmitter(phy).transmit_bits(
+            random_bits(rng_bits, packet_bits)
+        )
+        gamma_c = np.zeros(n)
+        start = onset_bit * phy.samples_per_bit
+        segment = collider_wf.reflection_waveform[: n - start]
+        gamma_c[start : start + segment.size] = segment
+        reflections["carol"] = gamma_c
+
+    ambient = source.samples(n, rng_amb)
+    incident = gains.received("bob", ambient, reflections, rng=rng_amb)
+
+    rx = BackscatterReceiver(phy)
+    env = rx.envelope(incident)
+    # The detector delay eats into the tail: observe what fits.
+    observable_bits = (
+        (env.size - phy.detector_delay_samples) // phy.samples_per_bit
+    )
+    observable_bits = min(observable_bits, packet_bits)
+    soft = rx.soft_chips(
+        env, phy.detector_delay_samples,
+        observable_bits * phy.chips_per_bit,
+    )
+    margins = soft[0::2] - soft[1::2]
+    decoded = rx.soft_decode_bits(soft)
+    return CollisionObservation(
+        soft_chips=soft,
+        margins=margins,
+        data_bits=data_bits[:observable_bits],
+        decoded_bits=decoded,
+        onset_bit=onset_bit,
+    )

@@ -1,0 +1,118 @@
+"""Self-interference handling for receive-while-transmit.
+
+A backscatter device that is transmitting hears *less*: its own
+reflecting state diverts power away from its detector, scaling the
+received envelope by the through-power of the current impedance state.
+Unlike an active radio's self-interference, this is purely
+multiplicative, perfectly known (the device drives its own switch), and
+slow relative to whatever the device is trying to receive — the three
+properties the paper's full-duplex design exploits.
+
+Two mechanisms are modelled:
+
+* :func:`compensate_envelope` — the digital known-state correction:
+  divide the detector output by the through-power of one's own state,
+  delayed by the detector's RC group delay.  Exact except within a
+  smoothing time-constant of switching edges.
+* :func:`own_off_mask` — the gating alternative used on the *feedback*
+  decode side: simply ignore samples where one's own modulator is
+  reflecting.
+
+:func:`residual_self_interference` quantifies what is left after
+compensation; the F6 ablation benchmark reports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.reflection import ReflectionStates
+
+
+def through_power_waveform(
+    own_chip_waveform: np.ndarray, states: ReflectionStates
+) -> np.ndarray:
+    """Per-sample through power ``1 - |Γ(own state)|²`` of a device's own
+    switching waveform."""
+    chips = np.asarray(own_chip_waveform)
+    return np.where(
+        chips > 0,
+        states.through_for(1) ** 2,
+        states.through_for(0) ** 2,
+    )
+
+
+def compensate_envelope(
+    envelope: np.ndarray,
+    own_chip_waveform: np.ndarray,
+    states: ReflectionStates,
+    smoothing_alpha: float | None = None,
+) -> np.ndarray:
+    """Undo the known self-gating on a detector-output envelope.
+
+    The detector smoothed ``|y|² · through(own state)``; when the field
+    power varies slowly relative to the RC constant this factors as
+    ``smooth(through) · |y|²``, so dividing by the *identically smoothed*
+    through-power removes the self-gating including its RC edge
+    transients — not just the steady-state steps.
+
+    Parameters
+    ----------
+    envelope:
+        Detector output (post-smoothing), same length as the chip
+        waveform.
+    own_chip_waveform:
+        The device's own transmit chips at sample rate (0/1).
+    states:
+        The device's impedance states (to know the through power of each).
+    smoothing_alpha:
+        The detector's per-sample IIR weight (from
+        :func:`repro.dsp.filters.alpha_for_time_constant`); ``None``
+        means the detector was unsmoothed and the raw step correction is
+        exact.
+    """
+    env = np.asarray(envelope, dtype=float)
+    chips = np.asarray(own_chip_waveform)
+    if env.shape != chips.shape:
+        raise ValueError(
+            f"envelope shape {env.shape} != chip waveform {chips.shape}"
+        )
+    through = through_power_waveform(chips, states)
+    if smoothing_alpha is not None:
+        from repro.dsp.filters import single_pole_lowpass
+
+        through = single_pole_lowpass(through, smoothing_alpha)
+    return env / through
+
+
+def own_off_mask(own_chip_waveform: np.ndarray) -> np.ndarray:
+    """Boolean mask of samples where the device's own modulator is
+    absorbing (chip 0) — the samples its receive path is clean on."""
+    return np.asarray(own_chip_waveform) == 0
+
+
+def residual_self_interference(
+    envelope: np.ndarray,
+    own_chip_waveform: np.ndarray,
+) -> float:
+    """Fraction of envelope variance explained by one's own switching.
+
+    Computes the normalised gap between the mean envelope during own-on
+    and own-off samples, relative to the overall mean — zero means the
+    self-interference has been fully removed (perfect compensation),
+    values near the through-power contrast mean none of it has.
+    """
+    env = np.asarray(envelope, dtype=float)
+    chips = np.asarray(own_chip_waveform)
+    if env.shape != chips.shape:
+        raise ValueError(
+            f"envelope shape {env.shape} != chip waveform {chips.shape}"
+        )
+    on = env[chips > 0]
+    off = env[chips == 0]
+    if on.size == 0 or off.size == 0:
+        return 0.0
+    overall = env.mean()
+    if overall == 0:
+        return 0.0
+    return float(abs(on.mean() - off.mean()) / overall)

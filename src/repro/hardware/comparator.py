@@ -1,0 +1,67 @@
+"""Hysteresis comparator.
+
+The last analog stage before digital logic: compares the detector output
+against the threshold and adds hysteresis so envelope noise near the
+threshold does not chatter.  Chatter-free slicing matters for the framing
+layer, whose bit decisions integrate comparator output over a chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class HysteresisComparator:
+    """Comparator with symmetric hysteresis around the threshold.
+
+    Output switches high only when ``env > thr * (1 + hysteresis)`` and
+    low only when ``env < thr * (1 - hysteresis)``; in between it holds
+    its previous state.  ``hysteresis = 0`` reduces to a plain comparator.
+
+    Attributes
+    ----------
+    hysteresis:
+        Fractional dead band (e.g. 0.02 = ±2 %).
+    initial_state:
+        Output value before the first decisive sample.
+    """
+
+    hysteresis: float = 0.0
+    initial_state: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative("hysteresis", self.hysteresis)
+        if self.initial_state not in (0, 1):
+            raise ValueError("initial_state must be 0 or 1")
+
+    def compare(self, envelope: np.ndarray, threshold: np.ndarray) -> np.ndarray:
+        """Slice ``envelope`` against ``threshold`` with hysteresis."""
+        env = np.asarray(envelope, dtype=float)
+        thr = np.asarray(threshold, dtype=float)
+        if env.shape != thr.shape:
+            raise ValueError(
+                f"envelope/threshold shape mismatch: {env.shape} vs {thr.shape}"
+            )
+        if self.hysteresis == 0.0:
+            return (env > thr).astype(np.uint8)
+        hi = thr * (1.0 + self.hysteresis)
+        lo = thr * (1.0 - self.hysteresis)
+        # Vectorised hysteresis: at each sample the output is forced high
+        # (env > hi), forced low (env < lo), or held.  Forward-fill the
+        # last forced value.
+        forced = np.where(env > hi, 1, np.where(env < lo, 0, -1))
+        out = np.empty(env.size, dtype=np.int64)
+        last = self.initial_state
+        decisive = forced >= 0
+        if not decisive.any():
+            return np.full(env.size, self.initial_state, dtype=np.uint8)
+        # Indices of the most recent decisive sample at or before n.
+        idx = np.where(decisive, np.arange(env.size), -1)
+        np.maximum.accumulate(idx, out=idx)
+        out = np.where(idx >= 0, forced[np.maximum(idx, 0)], last)
+        return out.astype(np.uint8)

@@ -1,0 +1,47 @@
+"""Envelope-detector front end (diode + RC network)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.envelope import square_law_detector
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class EnvelopeDetector:
+    """Square-law detector with an RC smoothing stage.
+
+    Attributes
+    ----------
+    sample_rate_hz:
+        Simulation rate of the incoming baseband samples.
+    smoothing_tau_seconds:
+        RC time constant.  The design rule from the receiver chain is
+        ``coherence time of ambient << tau << chip period``: long enough
+        to iron out ambient envelope fluctuation, short enough to follow
+        chip transitions.  ``None`` gives an ideal (unsmoothed) detector.
+    responsivity:
+        Detector output scale (V/W equivalent); purely multiplicative, so
+        downstream adaptive thresholds are insensitive to it, but it is
+        kept so fixed-threshold ablations see realistic magnitudes.
+    """
+
+    sample_rate_hz: float
+    smoothing_tau_seconds: float | None = None
+    responsivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("sample_rate_hz", self.sample_rate_hz)
+        if self.smoothing_tau_seconds is not None:
+            check_positive("smoothing_tau_seconds", self.smoothing_tau_seconds)
+        check_positive("responsivity", self.responsivity)
+
+    def detect(self, x: np.ndarray) -> np.ndarray:
+        """Smoothed envelope-power output for complex input samples."""
+        env = square_law_detector(
+            x, self.sample_rate_hz, self.smoothing_tau_seconds
+        )
+        return self.responsivity * env

@@ -1,0 +1,65 @@
+"""RF energy harvester model.
+
+Battery-free tags power themselves from the same ambient RF they
+communicate over.  The harvester rectifies whatever power is *not*
+reflected by the modulator; its conversion efficiency and sensitivity
+floor follow the behavioural parameters used throughout the wireless-
+power literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_non_negative
+
+
+@dataclass(frozen=True)
+class EnergyHarvester:
+    """Rectifier with efficiency and a sensitivity floor.
+
+    Attributes
+    ----------
+    efficiency:
+        RF→DC conversion efficiency (0.3 is conservative for UHF
+        rectennas at microwatt inputs; 0.5 is the common literature
+        value).
+    sensitivity_watt:
+        Input power below which the rectifier output is zero (diode
+        turn-on).  Default 100 nW.
+    saturation_watt:
+        Input power above which output stops growing.  Default 1 mW.
+    """
+
+    efficiency: float = 0.5
+    sensitivity_watt: float = 1e-7
+    saturation_watt: float = 1e-3
+
+    def __post_init__(self) -> None:
+        check_in_range("efficiency", self.efficiency, 0.0, 1.0)
+        check_non_negative("sensitivity_watt", self.sensitivity_watt)
+        if self.saturation_watt <= self.sensitivity_watt:
+            raise ValueError("saturation_watt must exceed sensitivity_watt")
+
+    def harvested_power(self, input_power_watt) -> np.ndarray | float:
+        """DC output power for a given instantaneous RF input power.
+
+        Vectorised; zero below sensitivity, clamped above saturation.
+        """
+        p = np.asarray(input_power_watt, dtype=float)
+        if np.any(p < 0):
+            raise ValueError("input power must be non-negative")
+        clipped = np.minimum(p, self.saturation_watt)
+        out = np.where(clipped >= self.sensitivity_watt, self.efficiency * clipped, 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    def harvested_energy(
+        self, input_power_watt: np.ndarray, sample_rate_hz: float
+    ) -> float:
+        """Total DC energy [J] harvested over a sampled power trace."""
+        if sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        p = self.harvested_power(input_power_watt)
+        return float(np.sum(p) / sample_rate_hz)

@@ -1,0 +1,40 @@
+"""Protocol-level network simulation.
+
+The PHY layer establishes *that* full-duplex feedback works; this package
+measures *what it buys* at the protocol level: a discrete-event simulator
+(:mod:`repro.mac.simulator`) runs contending backscatter links in one
+collision domain and compares link-layer protocols:
+
+* :class:`~repro.mac.arq.NoArqPolicy` — fire and forget;
+* :class:`~repro.mac.arq.HalfDuplexArqPolicy` — classic stop-and-wait:
+  full packet, turnaround, explicit ACK packet, timeout + backoff;
+* :class:`~repro.mac.fdmac.FullDuplexAbortPolicy` — the paper's protocol:
+  in-packet ACK/NACK on the feedback channel, early abort on collision
+  or corruption, immediate retransmission scheduling.
+
+Traffic models live in :mod:`repro.mac.traffic`; per-node accounting in
+:mod:`repro.mac.metrics`.
+"""
+
+from repro.mac.arq import HalfDuplexArqPolicy, LinkPolicy, NoArqPolicy
+from repro.mac.events import EventQueue
+from repro.mac.fdmac import FullDuplexAbortPolicy
+from repro.mac.metrics import NetworkMetrics, NodeMetrics
+from repro.mac.resume import ResumeFromAbortPolicy
+from repro.mac.simulator import NetworkSimulator, SimulationConfig
+from repro.mac.traffic import BernoulliLoss, poisson_arrivals
+
+__all__ = [
+    "BernoulliLoss",
+    "EventQueue",
+    "FullDuplexAbortPolicy",
+    "HalfDuplexArqPolicy",
+    "LinkPolicy",
+    "NetworkMetrics",
+    "NetworkSimulator",
+    "NoArqPolicy",
+    "NodeMetrics",
+    "ResumeFromAbortPolicy",
+    "SimulationConfig",
+    "poisson_arrivals",
+]

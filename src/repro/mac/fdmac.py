@@ -1,0 +1,85 @@
+"""The paper's link-layer protocol: full-duplex early abort.
+
+While transmitting, the sender decodes the receiver's concurrent
+feedback stream.  The moment the receiver's in-reception detector flags
+corruption (collision or fade), its next feedback slot flips from ACK to
+NACK; the sender decodes that slot when it completes and stops
+transmitting — saving the energy and airtime of the rest of the doomed
+packet.  On a clean packet, the final feedback slot doubles as the ACK,
+so no turnaround, no ACK packet, no timeout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mac.arq import AttemptContext, LinkPolicy
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass
+class FullDuplexAbortPolicy(LinkPolicy):
+    """Early-abort ARQ over the in-packet feedback channel.
+
+    Attributes
+    ----------
+    asymmetry_ratio:
+        ``r`` — data bits per feedback slot.  Sets abort granularity:
+        corruption detected at bit ``k`` stops the sender at the end of
+        the first feedback slot that can carry the NACK, i.e. at bit
+        ``(floor((k + detection_latency_bits) / r) + 2) * r``.
+    detection_latency_bits:
+        In-reception detector latency, calibrated from the sample-level
+        detectors in :mod:`repro.fullduplex.collision` (benchmark A1).
+    ack_tail_slots:
+        Feedback slots after the data end the sender waits to confirm
+        the final ACK (1 = the slot in flight when the packet ended).
+    """
+
+    asymmetry_ratio: int = 64
+    detection_latency_bits: int = 8
+    ack_tail_slots: int = 1
+    max_retries: int = 5
+    name: str = "fd-abort"
+
+    def __post_init__(self) -> None:
+        check_positive("asymmetry_ratio", self.asymmetry_ratio)
+        check_non_negative("detection_latency_bits", self.detection_latency_bits)
+        check_non_negative("ack_tail_slots", self.ack_tail_slots)
+
+    def abort_bit(self, onset_bit: int, packet_bits: int) -> int | None:
+        """Bit index at which the sender stops, or ``None`` when the
+        NACK cannot beat the natural end of the packet."""
+        if onset_bit < 0:
+            raise ValueError("onset_bit must be non-negative")
+        if packet_bits <= 0:
+            raise ValueError("packet_bits must be positive")
+        r = self.asymmetry_ratio
+        detect = onset_bit + self.detection_latency_bits
+        stop = (math.floor(detect / r) + 2) * r
+        return stop if stop < packet_bits else None
+
+    def on_corruption(self, hooks, attempt: AttemptContext) -> None:
+        stop = self.abort_bit(attempt.onset_bit or 0, attempt.packet_bits)
+        if stop is not None:
+            hooks.abort_at_bit(stop)
+
+    def on_data_end(self, hooks, attempt: AttemptContext) -> None:
+        attempt.bits_sent = (
+            attempt.packet_bits if not attempt.aborted else attempt.bits_sent
+        )
+        delivered = not attempt.corrupted
+        # The sender learns the outcome from the trailing feedback slot;
+        # no extra medium occupancy (the feedback rides the backscatter).
+        tail_bits = self.ack_tail_slots * self.asymmetry_ratio
+        hooks.schedule_bits(
+            tail_bits, lambda: hooks.resolve(delivered=delivered, tx_knows=True)
+        )
+
+    def feedback_slots(self, bits: int) -> int:
+        """Feedback bits the receiver transmitted alongside ``bits`` of
+        data (energy accounting)."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return bits // self.asymmetry_ratio

@@ -1,0 +1,117 @@
+"""Per-node and network-wide accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NodeMetrics:
+    """One transmitter's tally over a simulation run.
+
+    All energies in joules, times in seconds, sizes in bits.
+    """
+
+    name: str = ""
+    offered_packets: int = 0
+    delivered_packets: int = 0
+    failed_packets: int = 0
+    attempts: int = 0
+    aborted_attempts: int = 0
+    bits_transmitted: int = 0
+    payload_bits_delivered: int = 0
+    tx_energy_joule: float = 0.0
+    rx_energy_joule: float = 0.0
+    latency_sum_seconds: float = 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / offered packets (0 when nothing was offered)."""
+        if self.offered_packets == 0:
+            return 0.0
+        return self.delivered_packets / self.offered_packets
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Mean arrival-to-delivery latency over delivered packets."""
+        if self.delivered_packets == 0:
+            return 0.0
+        return self.latency_sum_seconds / self.delivered_packets
+
+    @property
+    def energy_per_delivered_bit(self) -> float:
+        """Transmit+receive energy per delivered payload bit [J/bit];
+        ``inf`` when nothing was delivered but energy was spent."""
+        total = self.tx_energy_joule + self.rx_energy_joule
+        if self.payload_bits_delivered == 0:
+            return float("inf") if total > 0 else 0.0
+        return total / self.payload_bits_delivered
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregate view over all transmitters in a run.
+
+    Attributes
+    ----------
+    nodes:
+        Per-node tallies.
+    duration_seconds:
+        Simulated horizon.
+    """
+
+    nodes: list[NodeMetrics] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    def _total(self, attr: str) -> float:
+        return sum(getattr(n, attr) for n in self.nodes)
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second across the network."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self._total("payload_bits_delivered") / self.duration_seconds
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Network-wide delivered / offered."""
+        offered = self._total("offered_packets")
+        if offered == 0:
+            return 0.0
+        return self._total("delivered_packets") / offered
+
+    @property
+    def total_tx_energy_joule(self) -> float:
+        """Transmit energy summed over nodes."""
+        return self._total("tx_energy_joule")
+
+    @property
+    def total_energy_joule(self) -> float:
+        """All energy (tx + rx) summed over nodes."""
+        return self._total("tx_energy_joule") + self._total("rx_energy_joule")
+
+    @property
+    def energy_per_delivered_bit(self) -> float:
+        """Network energy per delivered payload bit [J/bit]."""
+        bits = self._total("payload_bits_delivered")
+        if bits == 0:
+            return float("inf") if self.total_energy_joule > 0 else 0.0
+        return self.total_energy_joule / bits
+
+    @property
+    def abort_fraction(self) -> float:
+        """Aborted / total attempts — how often early abort engaged."""
+        attempts = self._total("attempts")
+        if attempts == 0:
+            return 0.0
+        return self._total("aborted_attempts") / attempts
+
+    def jain_fairness(self) -> float:
+        """Jain's fairness index over per-node delivered payload bits."""
+        xs = [n.payload_bits_delivered for n in self.nodes]
+        if not xs or all(x == 0 for x in xs):
+            return 1.0
+        s = sum(xs)
+        s2 = sum(x * x for x in xs)
+        return (s * s) / (len(xs) * s2)

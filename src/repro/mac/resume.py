@@ -1,0 +1,70 @@
+"""Resume-from-abort retransmission — a feedback-channel extension.
+
+Vanilla ARQ retransmits the *whole* packet after a failure.  But a
+full-duplex transmitter knows more: the first NACK slot tells it (to
+feedback-slot granularity) where the reception went bad, and everything
+before that point was acknowledged slot by slot.  A retry therefore only
+needs to carry the unacknowledged suffix plus a fresh header.
+
+:class:`ResumeFromAbortPolicy` extends the early-abort policy with this
+behaviour.  The suffix length is conservative: the resume point is the
+last fully-ACKed feedback-slot boundary before the corruption onset, so
+no corrupted region is ever skipped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mac.arq import AttemptContext
+from repro.mac.fdmac import FullDuplexAbortPolicy
+
+
+@dataclass
+class ResumeFromAbortPolicy(FullDuplexAbortPolicy):
+    """Early abort + resume-from-last-ACKed-slot retransmission.
+
+    Attributes
+    ----------
+    resume_overhead_bits:
+        Fresh per-attempt overhead a resumed suffix still pays
+        (preamble + header + CRC of the continuation frame).
+    """
+
+    resume_overhead_bits: int = 45
+    name: str = "fd-resume"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.resume_overhead_bits < 0:
+            raise ValueError("resume_overhead_bits must be non-negative")
+        self._acked_bits = 0
+
+    def packet_reset(self) -> None:
+        self._acked_bits = 0
+
+    def resume_point(self, onset_bit: int) -> int:
+        """Last fully-ACKed slot boundary at or before the corruption
+        onset."""
+        if onset_bit < 0:
+            raise ValueError("onset_bit must be non-negative")
+        return (math.floor(onset_bit / self.asymmetry_ratio)) * self.asymmetry_ratio
+
+    def attempt_packet_bits(self, full_packet_bits: int, retry_index: int,
+                            previous: AttemptContext | None) -> int:
+        if retry_index == 0 or previous is None:
+            return full_packet_bits
+        if previous.corrupted and previous.onset_bit is not None:
+            # Everything before the resume point of the *previous*
+            # attempt is now cumulatively acknowledged.
+            self._acked_bits = min(
+                full_packet_bits,
+                self._acked_bits + self.resume_point(previous.onset_bit),
+            )
+        remaining = full_packet_bits - self._acked_bits
+        if remaining <= 0:
+            # Failure was within the overhead/closing region: resend the
+            # minimal frame.
+            remaining = 1
+        return min(full_packet_bits, remaining + self.resume_overhead_bits)

@@ -1,0 +1,67 @@
+"""Traffic and loss models for the network simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+def poisson_arrivals(
+    rate_per_second: float, horizon_seconds: float, rng=None
+) -> np.ndarray:
+    """Arrival times of a Poisson process over ``[0, horizon)``.
+
+    Exponential inter-arrival sampling; returns a sorted float array.
+    """
+    check_positive("rate_per_second", rate_per_second)
+    check_positive("horizon_seconds", horizon_seconds)
+    gen = ensure_rng(rng)
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += gen.exponential(1.0 / rate_per_second)
+        if t >= horizon_seconds:
+            break
+        times.append(t)
+    return np.asarray(times, dtype=float)
+
+
+@dataclass(frozen=True)
+class BernoulliLoss:
+    """Independent per-attempt channel corruption.
+
+    Models everything that kills a packet besides collisions (fades,
+    interference bursts) as an i.i.d. loss with probability
+    ``loss_probability``.  The F5 goodput bench sweeps this.
+    """
+
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability("loss_probability", self.loss_probability)
+
+    def draw(self, rng) -> bool:
+        """True when this attempt is corrupted by the channel."""
+        if self.loss_probability == 0.0:
+            return False
+        return bool(ensure_rng(rng).uniform() < self.loss_probability)
+
+
+@dataclass(frozen=True)
+class UniformLossPosition:
+    """Where, within a corrupted packet, the corruption begins.
+
+    A channel fade or late-starting interferer corrupts the packet from a
+    position uniform in ``[0, packet_bits)``; the early-abort protocol's
+    savings depend on this position, so the model exposes it explicitly.
+    """
+
+    def draw(self, packet_bits: int, rng) -> int:
+        """Bit index at which corruption begins."""
+        if packet_bits <= 0:
+            raise ValueError("packet_bits must be positive")
+        return int(ensure_rng(rng).integers(0, packet_bits))

@@ -1,0 +1,125 @@
+"""Frame structure: preamble | length | payload | CRC-16.
+
+The over-the-air bit layout of one frame:
+
+====================  =====================================================
+field                 bits
+====================  =====================================================
+warm-up               ``warmup_bits`` alternating bits
+sync word             Barker-13 (13 bits)
+length                8 bits, payload length in *bytes* (0–255)
+payload               ``8 * length`` bits
+CRC-16                over length + payload
+====================  =====================================================
+
+The whole frame (including the preamble bits) is then line-coded in one
+pass, so the FM0 state is deterministic and the preamble chip template is
+known to the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy import coding as lc
+from repro.phy.crc import append_crc16, check_crc16
+from repro.phy.preamble import default_preamble_bits
+
+#: Bits in the length field.
+LENGTH_FIELD_BITS = 8
+
+#: Maximum payload size in bytes.
+MAX_PAYLOAD_BYTES = (1 << LENGTH_FIELD_BITS) - 1
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A parsed (or to-be-sent) frame.
+
+    Attributes
+    ----------
+    payload_bits:
+        The application payload as a 0/1 array; length must be a multiple
+        of 8 (whole bytes), matching the byte-granular length field.
+    """
+
+    payload_bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        bits = np.asarray(self.payload_bits)
+        if bits.ndim != 1 or bits.size % 8 != 0:
+            raise ValueError("payload must be a 1-D bit array of whole bytes")
+        if bits.size // 8 > MAX_PAYLOAD_BYTES:
+            raise ValueError(f"payload exceeds {MAX_PAYLOAD_BYTES} bytes")
+        if bits.size and not np.all((bits == 0) | (bits == 1)):
+            raise ValueError("payload bits must be 0/1")
+        object.__setattr__(self, "payload_bits", bits.astype(np.uint8))
+
+    @property
+    def payload_bytes(self) -> int:
+        """Payload length in bytes."""
+        return self.payload_bits.size // 8
+
+
+def _length_field(num_bytes: int) -> np.ndarray:
+    return np.array(
+        [(num_bytes >> (LENGTH_FIELD_BITS - 1 - i)) & 1
+         for i in range(LENGTH_FIELD_BITS)],
+        dtype=np.uint8,
+    )
+
+
+def frame_body_bits(frame: Frame) -> np.ndarray:
+    """Length + payload + CRC-16 (everything after the preamble)."""
+    header = _length_field(frame.payload_bytes)
+    return append_crc16(np.concatenate([header, frame.payload_bits]))
+
+
+def build_frame(frame: Frame, warmup: int = 8) -> np.ndarray:
+    """Complete over-the-air bit stream for a frame (before line coding)."""
+    return np.concatenate([default_preamble_bits(warmup), frame_body_bits(frame)])
+
+
+def build_frame_chips(frame: Frame, coding: str, warmup: int = 8) -> np.ndarray:
+    """Line-coded chip stream for a complete frame."""
+    return lc.encode(build_frame(frame, warmup), coding)
+
+
+def body_bits_for_payload(payload_bytes: int) -> int:
+    """Number of post-preamble bits for a payload of ``payload_bytes``."""
+    if not 0 <= payload_bytes <= MAX_PAYLOAD_BYTES:
+        raise ValueError(f"payload_bytes must be in [0, {MAX_PAYLOAD_BYTES}]")
+    return LENGTH_FIELD_BITS + 8 * payload_bytes + 16
+
+
+def parse_frame(body_bits: np.ndarray) -> tuple[Frame | None, bool]:
+    """Parse post-preamble bits into a frame.
+
+    Returns ``(frame, crc_ok)``.  ``frame`` is ``None`` when the stream is
+    too short or the length field is inconsistent with the available
+    bits; ``crc_ok`` is False in every failure case.
+    """
+    bits = np.asarray(body_bits).astype(np.uint8)
+    if bits.size < LENGTH_FIELD_BITS + 16:
+        return None, False
+    length = 0
+    for b in bits[:LENGTH_FIELD_BITS]:
+        length = (length << 1) | int(b)
+    needed = body_bits_for_payload(length)
+    if bits.size < needed:
+        return None, False
+    body = bits[:needed]
+    ok = check_crc16(body)
+    payload = body[LENGTH_FIELD_BITS:-16]
+    return Frame(payload_bits=payload), ok
+
+
+def random_frame(payload_bytes: int, rng=None) -> Frame:
+    """A frame with uniform random payload — the Monte-Carlo workload."""
+    from repro.utils.rng import random_bits
+
+    if not 0 <= payload_bytes <= MAX_PAYLOAD_BYTES:
+        raise ValueError(f"payload_bytes must be in [0, {MAX_PAYLOAD_BYTES}]")
+    return Frame(payload_bits=random_bits(rng, 8 * payload_bytes))

@@ -1,0 +1,81 @@
+"""Backscatter transmit chain.
+
+Takes a frame, produces the two sample-level waveforms the rest of the
+simulator needs:
+
+* ``chip_waveform`` — the 0/1 switching control (what the device's own
+  front end gates its receive/harvest path with);
+* ``reflection_waveform`` — the instantaneous reflection amplitude Γ[n]
+  the channel multiplies into the backscattered path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.reflection import ReflectionModulator, ReflectionStates
+from repro.phy.config import PhyConfig
+from repro.phy.framing import Frame, build_frame_chips
+from repro.phy.modulation import chip_waveform
+
+
+@dataclass(frozen=True)
+class TxWaveforms:
+    """Sample-level output of one frame transmission.
+
+    Attributes
+    ----------
+    chips:
+        The line-coded chip array (one entry per chip).
+    chip_waveform:
+        Chips expanded to the sample rate (0/1).
+    reflection_waveform:
+        Instantaneous reflection amplitude Γ[n] (same length).
+    """
+
+    chips: np.ndarray
+    chip_waveform: np.ndarray
+    reflection_waveform: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        """Transmission length in samples."""
+        return self.chip_waveform.size
+
+
+@dataclass
+class BackscatterTransmitter:
+    """Frame → waveforms under a PHY config and impedance states."""
+
+    config: PhyConfig
+    states: ReflectionStates = field(default_factory=ReflectionStates)
+
+    def transmit(self, frame: Frame) -> TxWaveforms:
+        """Build the switching and reflection waveforms for ``frame``."""
+        chips = build_frame_chips(
+            frame, self.config.coding, warmup=self.config.warmup_bits
+        )
+        wave = chip_waveform(chips, self.config)
+        modulator = ReflectionModulator(
+            states=self.states, samples_per_chip=self.config.samples_per_chip
+        )
+        gamma = modulator.reflection_waveform(chips)
+        return TxWaveforms(
+            chips=chips, chip_waveform=wave, reflection_waveform=gamma
+        )
+
+    def transmit_bits(self, bits: np.ndarray) -> TxWaveforms:
+        """Raw-bit transmission (no framing) for BER measurements."""
+        from repro.phy.modulation import chips_for_bits
+
+        chips = chips_for_bits(np.asarray(bits, dtype=np.uint8), self.config)
+        wave = chip_waveform(chips, self.config)
+        modulator = ReflectionModulator(
+            states=self.states, samples_per_chip=self.config.samples_per_chip
+        )
+        gamma = modulator.reflection_waveform(chips)
+        return TxWaveforms(
+            chips=chips, chip_waveform=wave, reflection_waveform=gamma
+        )

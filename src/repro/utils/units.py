@@ -1,0 +1,111 @@
+"""Unit conversions and physical constants.
+
+The simulator keeps every quantity linear and SI internally:
+
+* power in watts,
+* time in seconds,
+* frequency in hertz,
+* distance in metres.
+
+Logarithmic units (dB for ratios, dBm for absolute power) appear only at
+API boundaries — configuration objects and report formatting — through the
+converters in this module.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Speed of light in vacuum [m/s]; used for wavelength / free-space loss.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant [J/K]; used for thermal-noise floors.
+BOLTZMANN = 1.380649e-23
+
+#: Standard noise reference temperature [K].
+T0_KELVIN = 290.0
+
+
+def db_to_linear(value_db):
+    """Convert a ratio in decibels to its linear value.
+
+    Accepts scalars or numpy arrays.
+
+    >>> db_to_linear(3.0103)
+    2.0000...
+    """
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value):
+    """Convert a linear power ratio to decibels.
+
+    Raises :class:`ValueError` for non-positive inputs, which have no
+    logarithm — callers that want a floor should clamp first.
+    """
+    arr = np.asarray(value, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("linear_to_db requires strictly positive values")
+    return 10.0 * np.log10(arr)
+
+
+def dbm_to_watt(value_dbm):
+    """Convert absolute power in dBm to watts.
+
+    >>> dbm_to_watt(0.0)
+    0.001
+    """
+    return np.power(10.0, (np.asarray(value_dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watt_to_dbm(value_watt):
+    """Convert absolute power in watts to dBm."""
+    arr = np.asarray(value_watt, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("watt_to_dbm requires strictly positive power")
+    return 10.0 * np.log10(arr) + 30.0
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Wavelength [m] of a carrier at ``frequency_hz``.
+
+    >>> round(wavelength(539e6), 3)   # UHF TV channel
+    0.556
+    """
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def thermal_noise_power(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power [W] in ``bandwidth_hz`` at the reference
+    temperature, degraded by a receiver noise figure.
+
+    ``kTB`` with ``T = 290 K`` gives the familiar −174 dBm/Hz floor.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    noise = BOLTZMANN * T0_KELVIN * bandwidth_hz
+    return noise * float(db_to_linear(noise_figure_db))
+
+
+def amplitude_from_power(power_watt) -> np.ndarray | float:
+    """Signal amplitude (RMS) corresponding to a mean power.
+
+    For a unit-power complex baseband waveform ``x``, scaling by this
+    amplitude yields mean power ``power_watt``.
+    """
+    arr = np.asarray(power_watt, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("power must be non-negative")
+    out = np.sqrt(arr)
+    return float(out) if out.ndim == 0 else out
+
+
+def snr_db(signal_power_watt: float, noise_power_watt: float) -> float:
+    """Signal-to-noise ratio in dB from linear powers."""
+    if signal_power_watt <= 0 or noise_power_watt <= 0:
+        raise ValueError("powers must be positive")
+    return 10.0 * math.log10(signal_power_watt / noise_power_watt)

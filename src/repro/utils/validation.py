@@ -1,0 +1,54 @@
+"""Argument-validation helpers.
+
+Small, explicit checkers used by configuration dataclasses across the
+package.  They raise :class:`ValueError` with the offending parameter name
+so configuration mistakes fail loudly at construction time rather than as
+silent NaNs deep inside a Monte-Carlo sweep.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value) -> None:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(name: str, value) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_in_range(name: str, value, low, high, *, inclusive: bool = True) -> None:
+    """Require ``low <= value <= high`` (or strict when not inclusive)."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Require ``value`` to be a positive integer power of two."""
+    if not (isinstance(value, int) and value > 0 and value & (value - 1) == 0):
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_integer_multiple(name: str, value: float, base: float) -> None:
+    """Require ``value`` to be an integer multiple of ``base``.
+
+    Used for sample-rate / bit-rate relationships that the sample-level
+    simulator needs to be exact (e.g. samples per bit).
+    """
+    ratio = value / base
+    if abs(ratio - round(ratio)) > 1e-9:
+        raise ValueError(
+            f"{name}={value!r} must be an integer multiple of {base!r}"
+        )

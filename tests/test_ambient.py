@@ -1,0 +1,132 @@
+"""Ambient-source tests: statistics the receiver design depends on."""
+
+import numpy as np
+import pytest
+
+from repro.ambient.sources import (
+    FilteredNoiseSource,
+    OfdmLikeSource,
+    ToneSource,
+    make_source,
+)
+from repro.ambient.spectrum import coherence_samples, occupied_bandwidth
+
+
+class TestOfdmLikeSource:
+    def setup_method(self):
+        self.src = OfdmLikeSource(sample_rate_hz=256e3, bandwidth_hz=200e3)
+
+    def test_unit_mean_power(self):
+        x = self.src.samples(8192, rng=0)
+        assert np.mean(np.abs(x) ** 2) == pytest.approx(1.0, rel=1e-6)
+
+    def test_length_and_dtype(self):
+        x = self.src.samples(100, rng=0)
+        assert x.size == 100 and np.iscomplexobj(x)
+
+    def test_fresh_realisations_differ(self):
+        gen = np.random.default_rng(0)
+        a = self.src.samples(256, gen)
+        b = self.src.samples(256, gen)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_given_seed(self):
+        assert np.allclose(self.src.samples(128, rng=5),
+                           self.src.samples(128, rng=5))
+
+    def test_envelope_fluctuates(self):
+        # Rayleigh-like envelope: instantaneous power has std ~ mean.
+        x = self.src.samples(16384, rng=1)
+        p = np.abs(x) ** 2
+        assert p.std() > 0.5 * p.mean()
+
+    def test_occupied_bandwidth_near_config(self):
+        x = self.src.samples(16384, rng=2)
+        bw = occupied_bandwidth(x, 256e3, fraction=0.95)
+        assert 120e3 < bw < 240e3
+
+    def test_chip_mean_stability(self):
+        # The calibration property: per-chip (128-sample) means vary far
+        # less than the raw envelope — the receiver's processing gain.
+        x = self.src.samples(128 * 200, rng=3)
+        p = (np.abs(x) ** 2).reshape(200, 128).mean(axis=1)
+        assert p.std() / p.mean() < 0.1
+
+    def test_zero_count(self):
+        assert self.src.samples(0).size == 0
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            self.src.samples(-1)
+
+    def test_rejects_bandwidth_above_fs(self):
+        with pytest.raises(ValueError):
+            OfdmLikeSource(sample_rate_hz=1e5, bandwidth_hz=2e5)
+
+
+class TestToneSource:
+    def test_constant_envelope(self):
+        src = ToneSource(sample_rate_hz=1e5, random_phase=False)
+        x = src.samples(1000, rng=0)
+        assert np.allclose(np.abs(x), 1.0)
+
+    def test_offset_frequency(self):
+        src = ToneSource(sample_rate_hz=1e5, offset_hz=1e4, random_phase=False)
+        x = src.samples(4096, rng=0)
+        spec = np.abs(np.fft.fft(x))
+        peak = np.fft.fftfreq(x.size, 1e-5)[np.argmax(spec)]
+        assert peak == pytest.approx(1e4, abs=50)
+
+    def test_random_phase_varies(self):
+        src = ToneSource(sample_rate_hz=1e5)
+        gen = np.random.default_rng(0)
+        assert not np.allclose(src.samples(16, gen), src.samples(16, gen))
+
+    def test_rejects_offset_beyond_nyquist(self):
+        with pytest.raises(ValueError):
+            ToneSource(sample_rate_hz=1e5, offset_hz=6e4)
+
+
+class TestFilteredNoiseSource:
+    def test_unit_power(self):
+        src = FilteredNoiseSource(sample_rate_hz=1e5, coherence_samples=8)
+        x = src.samples(8192, rng=0)
+        assert np.mean(np.abs(x) ** 2) == pytest.approx(1.0, rel=1e-6)
+
+    def test_coherence_scales_with_kernel(self):
+        short = FilteredNoiseSource(sample_rate_hz=1e5, coherence_samples=2)
+        long = FilteredNoiseSource(sample_rate_hz=1e5, coherence_samples=32)
+        cs = coherence_samples(short.samples(16384, rng=1))
+        cl = coherence_samples(long.samples(16384, rng=1))
+        assert cl > 4 * cs
+
+
+class TestMakeSource:
+    def test_builds_each_kind(self):
+        assert isinstance(make_source("ofdm", 1e5, bandwidth_hz=5e4), OfdmLikeSource)
+        assert isinstance(make_source("tone", 1e5), ToneSource)
+        assert isinstance(make_source("noise", 1e5), FilteredNoiseSource)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown source"):
+            make_source("laser", 1e5)
+
+
+class TestSpectrumHelpers:
+    def test_occupied_bandwidth_of_tone_is_narrow(self):
+        src = ToneSource(sample_rate_hz=1e5, random_phase=False)
+        bw = occupied_bandwidth(src.samples(4096, rng=0), 1e5)
+        assert bw < 1e3
+
+    def test_bandwidth_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            occupied_bandwidth(np.ones(4, dtype=complex), 1e5)
+
+    def test_coherence_of_white_noise_is_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(8192) + 1j * rng.standard_normal(8192)
+        assert coherence_samples(x) <= 2
+
+    def test_coherence_threshold_validation(self):
+        with pytest.raises(ValueError):
+            coherence_samples(np.ones(16, dtype=complex), threshold=1.5)

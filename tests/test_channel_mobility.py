@@ -1,0 +1,70 @@
+"""Mobility trajectory tests."""
+
+import pytest
+
+from repro.channel.geometry import Scene
+from repro.channel.mobility import Waypoint, WaypointMobility
+
+
+class TestWaypointMobility:
+    def _traj(self):
+        return WaypointMobility([
+            Waypoint(0.0, 0.0, 0.0),
+            Waypoint(10.0, 10.0, 0.0),
+            Waypoint(20.0, 10.0, 5.0),
+        ])
+
+    def test_holds_before_first(self):
+        assert self._traj().position(-5.0) == (0.0, 0.0)
+
+    def test_holds_after_last(self):
+        assert self._traj().position(99.0) == (10.0, 5.0)
+
+    def test_interpolates_linearly(self):
+        assert self._traj().position(5.0) == (5.0, 0.0)
+        assert self._traj().position(15.0) == (10.0, 2.5)
+
+    def test_exact_waypoints(self):
+        traj = self._traj()
+        assert traj.position(0.0) == (0.0, 0.0)
+        assert traj.position(10.0) == (10.0, 0.0)
+        assert traj.position(20.0) == (10.0, 5.0)
+
+    def test_distance_to(self):
+        traj = self._traj()
+        assert traj.distance_to((0.0, 0.0), 5.0) == pytest.approx(5.0)
+
+    def test_apply_moves_scene_node(self):
+        scene = Scene.two_device_line(1.0)
+        traj = self._traj()
+        traj.apply(scene, "bob", 10.0)
+        assert scene.nodes["bob"].x == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaypointMobility([])
+        with pytest.raises(ValueError):
+            WaypointMobility([Waypoint(1.0, 0, 0), Waypoint(0.0, 1, 1)])
+        with pytest.raises(ValueError):
+            WaypointMobility([Waypoint(0.0, 0, 0), Waypoint(0.0, 1, 1)])
+
+
+class TestBackAndForth:
+    def test_symmetric_swing(self):
+        traj = WaypointMobility.back_and_forth(near_m=0.5, far_m=2.0,
+                                               period_s=60.0)
+        assert traj.position(0.0) == (0.5, 0.0)
+        assert traj.position(30.0) == (2.0, 0.0)
+        assert traj.position(60.0) == (0.5, 0.0)
+        assert traj.position(15.0)[0] == pytest.approx(1.25)
+
+    def test_along_y(self):
+        traj = WaypointMobility.back_and_forth(near_m=1.0, far_m=3.0,
+                                               period_s=10.0, along_x=False)
+        assert traj.position(5.0) == (0.0, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaypointMobility.back_and_forth(2.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            WaypointMobility.back_and_forth(1.0, 2.0, 0.0)

@@ -1,0 +1,124 @@
+"""Correlation, expansion and resampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.ops import (
+    bit_errors,
+    normalized_correlation,
+    repeat_samples,
+    sliding_windows,
+)
+from repro.dsp.resample import align_lengths, hold_resample
+
+
+class TestRepeatSamples:
+    def test_expansion(self):
+        out = repeat_samples(np.array([1, 0, 1]), 3)
+        assert np.array_equal(out, [1, 1, 1, 0, 0, 0, 1, 1, 1])
+
+    def test_factor_one(self):
+        x = np.array([1, 2, 3])
+        assert np.array_equal(repeat_samples(x, 1), x)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            repeat_samples(np.array([1]), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            repeat_samples(np.ones((2, 2)), 2)
+
+
+class TestNormalizedCorrelation:
+    def test_perfect_match_scores_one(self):
+        pattern = np.array([1.0, -1.0, 1.0, 1.0, -1.0])
+        x = np.concatenate([np.zeros(3) + 0.1 * np.arange(3), pattern, np.zeros(4)])
+        x[:3] = [0.3, -0.2, 0.1]
+        corr = normalized_correlation(x, pattern)
+        assert corr.max() == pytest.approx(1.0)
+        assert int(np.argmax(corr)) == 3
+
+    def test_scale_and_offset_invariant(self):
+        pattern = np.array([1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0])
+        x = 5.0 + 0.01 * np.concatenate([np.zeros(5) + np.random.default_rng(0).standard_normal(5), pattern, np.zeros(5)])
+        corr = normalized_correlation(x, pattern)
+        assert corr.max() > 0.99
+
+    def test_anticorrelation_is_minus_one(self):
+        pattern = np.array([1.0, -1.0, 1.0, -1.0, 1.0])
+        corr = normalized_correlation(-pattern, pattern)
+        assert corr[0] == pytest.approx(-1.0)
+
+    def test_output_length(self):
+        corr = normalized_correlation(np.random.default_rng(1).standard_normal(20),
+                                      np.array([1.0, -1.0, 0.5]))
+        assert corr.size == 18
+
+    def test_pattern_longer_than_input(self):
+        assert normalized_correlation(np.ones(2), np.array([1.0, -1.0, 1.0])).size == 0
+
+    def test_constant_window_scores_zero(self):
+        pattern = np.array([1.0, -1.0, 1.0])
+        x = np.concatenate([np.full(5, 2.0), pattern])
+        corr = normalized_correlation(x, pattern)
+        assert corr[0] == pytest.approx(0.0)
+
+    def test_rejects_constant_pattern(self):
+        with pytest.raises(ValueError):
+            normalized_correlation(np.ones(10), np.ones(3))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(3)
+        corr = normalized_correlation(rng.standard_normal(200),
+                                      rng.standard_normal(10))
+        assert np.all(corr <= 1.0) and np.all(corr >= -1.0)
+
+
+class TestBitErrors:
+    def test_counts(self):
+        assert bit_errors(np.array([0, 1, 1]), np.array([1, 1, 0])) == 2
+
+    def test_zero_for_equal(self):
+        bits = np.array([0, 1, 0, 1])
+        assert bit_errors(bits, bits) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bit_errors(np.ones(3), np.ones(4))
+
+
+class TestSlidingWindows:
+    def test_shapes(self):
+        out = sliding_windows(np.arange(10), 4, step=2)
+        assert out.shape == (4, 4)
+        assert np.array_equal(out[1], [2, 3, 4, 5])
+
+    def test_short_input(self):
+        assert sliding_windows(np.arange(3), 5).shape == (0, 5)
+
+
+class TestHoldResample:
+    def test_exact_division(self):
+        out = hold_resample(np.array([1, 2]), 6)
+        assert np.array_equal(out, [1, 1, 1, 2, 2, 2])
+
+    def test_uneven_division_lengths_differ_by_one(self):
+        out = hold_resample(np.array([1, 2, 3]), 8)
+        counts = [np.count_nonzero(out == v) for v in (1, 2, 3)]
+        assert sum(counts) == 8
+        assert max(counts) - min(counts) <= 1
+
+    def test_total_length(self):
+        out = hold_resample(np.arange(7), 23)
+        assert out.size == 23
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hold_resample(np.empty(0), 5)
+
+
+class TestAlignLengths:
+    def test_truncates_to_common(self):
+        a, b = align_lengths(np.arange(5), np.arange(3))
+        assert a.size == b.size == 3

@@ -1,0 +1,143 @@
+"""Sample-level full-duplex exchange tests — the paper's core claims at
+link scale."""
+
+import numpy as np
+import pytest
+
+from repro.ambient import OfdmLikeSource
+from repro.channel import ChannelModel, Scene
+from repro.fullduplex.config import FullDuplexConfig
+from repro.fullduplex.feedback import feedback_bits_for_frame
+from repro.fullduplex.link import FullDuplexLink
+from repro.phy.framing import random_frame
+from repro.utils.rng import random_bits
+
+
+@pytest.fixture(scope="module")
+def fd_setup():
+    cfg = FullDuplexConfig()
+    source = OfdmLikeSource(sample_rate_hz=cfg.phy.sample_rate_hz,
+                            bandwidth_hz=200e3)
+    link = FullDuplexLink(cfg, source)
+    channel = ChannelModel()
+    scene = Scene.two_device_line(device_separation_m=0.5)
+    return cfg, link, channel, scene
+
+
+class TestRawExchange:
+    def test_both_directions_error_free_at_half_metre(self, fd_setup):
+        cfg, link, channel, scene = fd_setup
+        rng = np.random.default_rng(0)
+        data = random_bits(rng, 256)
+        fb = random_bits(rng, 256 // cfg.asymmetry_ratio)
+        gains = channel.realize(scene, rng)
+        decoded, fb_sent, fb_dec = link.run_raw_bits(gains, data, fb, rng=rng)
+        assert np.array_equal(decoded, data)
+        assert np.array_equal(fb_sent, fb_dec)
+
+    def test_concurrent_feedback_costs_no_data_errors(self, fd_setup):
+        cfg, link, channel, scene = fd_setup
+        errors_on = errors_off = 0
+        for t in range(5):
+            gains = channel.realize(scene, np.random.default_rng(100 + t))
+            data = random_bits(np.random.default_rng(200 + t), 256)
+            fb = random_bits(np.random.default_rng(300 + t), 4)
+            on, _, _ = link.run_raw_bits(
+                gains, data, fb, rng=np.random.default_rng(t),
+                feedback_enabled=True,
+            )
+            off, _, _ = link.run_raw_bits(
+                gains, data, fb, rng=np.random.default_rng(t),
+                feedback_enabled=False,
+            )
+            errors_on += int(np.count_nonzero(on != data))
+            errors_off += int(np.count_nonzero(off != data))
+        assert errors_off == 0
+        assert errors_on == 0  # compensation makes feedback free
+
+    def test_without_compensation_feedback_hurts(self, fd_setup):
+        cfg, _, channel, scene = fd_setup
+        source = OfdmLikeSource(sample_rate_hz=cfg.phy.sample_rate_hz,
+                                bandwidth_hz=200e3)
+        naive = FullDuplexLink(
+            FullDuplexConfig(self_compensation=False), source
+        )
+        errors = 0
+        for t in range(5):
+            gains = channel.realize(scene, np.random.default_rng(100 + t))
+            data = random_bits(np.random.default_rng(200 + t), 256)
+            fb = random_bits(np.random.default_rng(300 + t), 4)
+            decoded, _, _ = naive.run_raw_bits(
+                gains, data, fb, rng=np.random.default_rng(t)
+            )
+            errors += int(np.count_nonzero(decoded != data))
+        assert errors > 0  # the ablation shows a real error floor
+
+    def test_feedback_trimmed_to_frame_duration(self, fd_setup):
+        from repro.fullduplex.link import DATA_PILOT_BITS, FEEDBACK_PILOT_BITS
+
+        cfg, link, channel, scene = fd_setup
+        rng = np.random.default_rng(1)
+        data = random_bits(rng, 256)
+        fb = random_bits(rng, 50)  # far more than fits
+        gains = channel.realize(scene, rng)
+        _, fb_sent, fb_dec = link.run_raw_bits(gains, data, fb, rng=rng)
+        slots = (256 + DATA_PILOT_BITS.size) // cfg.asymmetry_ratio
+        assert fb_sent.size == slots - FEEDBACK_PILOT_BITS.size
+        assert fb_dec.size == fb_sent.size
+
+
+class TestFramedExchange:
+    def test_full_exchange_delivers(self, fd_setup):
+        cfg, link, channel, scene = fd_setup
+        rng = np.random.default_rng(2)
+        frame = random_frame(16, rng)
+        fb = random_bits(rng, 8)
+        gains = channel.realize(scene, rng)
+        exchange = link.run(gains, frame, fb, rng=rng)
+        assert exchange.data_delivered
+        assert np.array_equal(exchange.data_result.frame.payload_bits,
+                              frame.payload_bits)
+        assert exchange.feedback_errors == 0
+
+    def test_harvested_energy_positive(self, fd_setup):
+        cfg, link, channel, scene = fd_setup
+        rng = np.random.default_rng(3)
+        frame = random_frame(8, rng)
+        gains = channel.realize(scene, rng)
+        exchange = link.run(gains, frame, random_bits(rng, 4), rng=rng)
+        assert exchange.harvested_a_joule > 0
+        assert exchange.harvested_b_joule > 0
+
+    def test_feedback_disabled_gives_empty_feedback(self, fd_setup):
+        cfg, link, channel, scene = fd_setup
+        rng = np.random.default_rng(4)
+        frame = random_frame(8, rng)
+        gains = channel.realize(scene, rng)
+        exchange = link.run(gains, frame, random_bits(rng, 4), rng=rng,
+                            feedback_enabled=False)
+        assert exchange.feedback_sent.size == 0
+        assert exchange.feedback_decoded.size == 0
+        assert exchange.data_delivered
+
+    def test_data_bits_sent_recorded(self, fd_setup):
+        cfg, link, channel, scene = fd_setup
+        rng = np.random.default_rng(5)
+        frame = random_frame(4, rng)
+        gains = channel.realize(scene, rng)
+        exchange = link.run(gains, frame, random_bits(rng, 4), rng=rng)
+        from repro.phy.framing import build_frame
+
+        assert np.array_equal(exchange.data_bits_sent,
+                              build_frame(frame, cfg.phy.warmup_bits))
+
+
+class TestFeedbackBitsForFrame:
+    def test_counts(self):
+        cfg = FullDuplexConfig()
+        per = cfg.samples_per_feedback_bit
+        assert feedback_bits_for_frame(per * 3 + 1, cfg) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            feedback_bits_for_frame(-1, FullDuplexConfig())

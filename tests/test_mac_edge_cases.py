@@ -1,0 +1,152 @@
+"""Edge-case behaviour of the network simulator and policies."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.energy import EnergyModel
+from repro.mac.arq import HalfDuplexArqPolicy, NoArqPolicy
+from repro.mac.fdmac import FullDuplexAbortPolicy
+from repro.mac.simulator import NetworkSimulator, SimulationConfig
+from repro.mac.traffic import BernoulliLoss
+
+
+def _run(factory, **overrides):
+    defaults = dict(num_links=1, arrival_rate_pps=0.5,
+                    horizon_seconds=100.0, payload_bytes=32)
+    defaults.update(overrides)
+    cfg = SimulationConfig(**defaults)
+    sim = NetworkSimulator(config=cfg, policy_factory=factory)
+    return cfg, sim.run(rng=1)
+
+
+class TestRetryExhaustion:
+    def test_certain_loss_exhausts_retries(self):
+        cfg, m = _run(lambda: HalfDuplexArqPolicy(max_retries=3),
+                      loss=BernoulliLoss(1.0), arrival_rate_pps=0.1)
+        node = m.nodes[0]
+        assert node.delivered_packets == 0
+        assert node.failed_packets == node.offered_packets
+        # 1 initial + 3 retries per packet.
+        assert node.attempts == 4 * node.offered_packets
+
+    def test_zero_retries_single_attempt(self):
+        cfg, m = _run(lambda: FullDuplexAbortPolicy(max_retries=0),
+                      loss=BernoulliLoss(0.5))
+        node = m.nodes[0]
+        assert node.attempts == node.offered_packets
+        assert 0 < node.delivered_packets < node.offered_packets
+
+
+class TestQueueing:
+    def test_all_arrivals_eventually_handled(self):
+        # High arrival rate, fast link -> queueing, but nothing lost.
+        cfg, m = _run(NoArqPolicy, arrival_rate_pps=1.2,
+                      horizon_seconds=120.0)
+        node = m.nodes[0]
+        assert node.offered_packets > 100
+        assert (node.delivered_packets + node.failed_packets
+                == node.offered_packets)
+
+    def test_latency_includes_queueing(self):
+        _, light = _run(HalfDuplexArqPolicy, arrival_rate_pps=0.05,
+                        horizon_seconds=400.0)
+        _, heavy = _run(HalfDuplexArqPolicy, arrival_rate_pps=1.5,
+                        horizon_seconds=400.0)
+        assert (heavy.nodes[0].mean_latency_seconds
+                > light.nodes[0].mean_latency_seconds)
+
+
+class TestEnergyAccounting:
+    def test_idle_energy_charged(self):
+        energy = EnergyModel(idle_second_joule=1e-9)
+        cfg = SimulationConfig(num_links=1, arrival_rate_pps=0.01,
+                               horizon_seconds=100.0, payload_bytes=32)
+        sim = NetworkSimulator(config=cfg, policy_factory=NoArqPolicy,
+                               energy=energy)
+        m = sim.run(rng=2)
+        # Nearly idle link: ~100 s of leakage on each side.
+        assert m.nodes[0].tx_energy_joule >= 0.9 * 100e-9
+
+    def test_fd_receiver_pays_feedback_energy(self):
+        energy = EnergyModel(feedback_bit_joule=1e-6)  # exaggerated
+        cfg = SimulationConfig(num_links=1, arrival_rate_pps=0.3,
+                               horizon_seconds=60.0, payload_bytes=64)
+        hd = NetworkSimulator(config=cfg, policy_factory=HalfDuplexArqPolicy,
+                              energy=energy).run(rng=3)
+        fd = NetworkSimulator(config=cfg, policy_factory=FullDuplexAbortPolicy,
+                              energy=energy).run(rng=3)
+        # With absurd feedback cost, FD's rx side must be pricier.
+        assert fd.nodes[0].rx_energy_joule > hd.nodes[0].rx_energy_joule
+
+
+class TestAckPathology:
+    def test_ack_loss_causes_duplicate_attempts(self):
+        # With heavy loss the ACK also dies sometimes: the transmitter
+        # retries packets that were actually delivered, so attempts far
+        # exceed completed packets (duplicates + retries); a saturated
+        # link may also leave arrivals queued at the horizon.
+        cfg, m = _run(HalfDuplexArqPolicy, loss=BernoulliLoss(0.4),
+                      horizon_seconds=300.0)
+        node = m.nodes[0]
+        completed = node.delivered_packets + node.failed_packets
+        assert completed <= node.offered_packets
+        assert node.attempts > 1.5 * completed
+        # ARQ still delivers nearly every packet it finished working on.
+        assert node.delivered_packets > 0.9 * completed
+
+    def test_delivered_counted_once_despite_duplicates(self):
+        cfg, m = _run(HalfDuplexArqPolicy, loss=BernoulliLoss(0.5),
+                      horizon_seconds=300.0)
+        node = m.nodes[0]
+        assert node.delivered_packets <= node.offered_packets
+        assert node.payload_bits_delivered == (
+            node.delivered_packets * cfg.payload_bits
+        )
+
+
+class TestMultiLinkFairness:
+    def test_identical_links_share_fairly(self):
+        cfg = SimulationConfig(num_links=6, arrival_rate_pps=0.3,
+                               horizon_seconds=300.0, payload_bytes=32,
+                               loss=BernoulliLoss(0.05))
+        sim = NetworkSimulator(config=cfg,
+                               policy_factory=FullDuplexAbortPolicy)
+        m = sim.run(rng=4)
+        assert m.jain_fairness() > 0.9
+
+
+class TestBackoff:
+    def test_backoff_window_grows(self):
+        policy = HalfDuplexArqPolicy()
+        rng = np.random.default_rng(0)
+        early = [policy.backoff_seconds(1, 0.5, rng) for _ in range(200)]
+        late = [policy.backoff_seconds(5, 0.5, rng) for _ in range(200)]
+        assert max(late) > max(early)
+        assert np.mean(late) > np.mean(early)
+
+    def test_backoff_non_negative(self):
+        policy = FullDuplexAbortPolicy()
+        rng = np.random.default_rng(1)
+        assert all(policy.backoff_seconds(k, 0.5, rng) >= 0
+                   for k in range(8))
+
+    def test_rejects_negative_retry_index(self):
+        with pytest.raises(ValueError):
+            NoArqPolicy().backoff_seconds(-1, 0.5, np.random.default_rng(0))
+
+
+class TestConfigValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_links=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(arrival_rate_pps=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(payload_bytes=0)
+
+    def test_derived_quantities(self):
+        cfg = SimulationConfig(payload_bytes=64, overhead_bits=45,
+                               bit_rate_bps=1000.0)
+        assert cfg.payload_bits == 512
+        assert cfg.packet_bits == 557
+        assert cfg.packet_seconds == pytest.approx(0.557)

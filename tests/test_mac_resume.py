@@ -1,0 +1,108 @@
+"""Resume-from-abort policy tests."""
+
+import pytest
+
+from repro.mac.arq import AttemptContext
+from repro.mac.fdmac import FullDuplexAbortPolicy
+from repro.mac.resume import ResumeFromAbortPolicy
+from repro.mac.simulator import NetworkSimulator, SimulationConfig
+from repro.mac.traffic import BernoulliLoss
+
+
+def _attempt(packet_bits, onset=None):
+    a = AttemptContext(payload_bits=512, packet_bits=packet_bits,
+                       start_time=0.0)
+    if onset is not None:
+        a.corrupted = True
+        a.onset_bit = onset
+    return a
+
+
+class TestResumePoint:
+    def test_slot_floor(self):
+        p = ResumeFromAbortPolicy(asymmetry_ratio=64)
+        assert p.resume_point(0) == 0
+        assert p.resume_point(63) == 0
+        assert p.resume_point(64) == 64
+        assert p.resume_point(200) == 192
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ResumeFromAbortPolicy().resume_point(-1)
+
+
+class TestAttemptSizing:
+    def test_first_attempt_full(self):
+        p = ResumeFromAbortPolicy()
+        p.packet_reset()
+        assert p.attempt_packet_bits(557, 0, None) == 557
+
+    def test_retry_carries_suffix_plus_overhead(self):
+        p = ResumeFromAbortPolicy(asymmetry_ratio=64,
+                                  resume_overhead_bits=45)
+        p.packet_reset()
+        prev = _attempt(557, onset=300)  # resume point = 256
+        assert p.attempt_packet_bits(557, 1, prev) == (557 - 256) + 45
+
+    def test_acked_prefix_accumulates(self):
+        p = ResumeFromAbortPolicy(asymmetry_ratio=64,
+                                  resume_overhead_bits=45)
+        p.packet_reset()
+        first = _attempt(557, onset=300)      # acks 256
+        p.attempt_packet_bits(557, 1, first)
+        second = _attempt(346, onset=130)     # acks 128 more
+        size = p.attempt_packet_bits(557, 2, second)
+        assert size == (557 - 384) + 45
+
+    def test_never_exceeds_full_packet(self):
+        p = ResumeFromAbortPolicy(asymmetry_ratio=64)
+        p.packet_reset()
+        prev = _attempt(557, onset=10)  # resume point 0 -> no progress
+        assert p.attempt_packet_bits(557, 1, prev) == 557
+
+    def test_reset_clears_progress(self):
+        p = ResumeFromAbortPolicy(asymmetry_ratio=64)
+        p.packet_reset()
+        p.attempt_packet_bits(557, 1, _attempt(557, onset=300))
+        p.packet_reset()
+        prev = _attempt(557, onset=70)  # acks 64
+        assert p.attempt_packet_bits(557, 1, prev) == (557 - 64) + 45
+
+    def test_uncorrupted_previous_means_full_remaining(self):
+        p = ResumeFromAbortPolicy(asymmetry_ratio=64)
+        p.packet_reset()
+        prev = _attempt(557)  # not corrupted (e.g. ACK-side issue)
+        assert p.attempt_packet_bits(557, 1, prev) == 557
+
+
+class TestEndToEnd:
+    def _run(self, factory, seed=3):
+        cfg = SimulationConfig(num_links=1, arrival_rate_pps=0.5,
+                               horizon_seconds=200.0, payload_bytes=64,
+                               loss=BernoulliLoss(0.35))
+        return NetworkSimulator(config=cfg, policy_factory=factory).run(
+            rng=seed
+        )
+
+    def test_resume_delivers_everything(self):
+        m = self._run(ResumeFromAbortPolicy)
+        node = m.nodes[0]
+        assert node.delivered_packets == node.offered_packets
+
+    def test_resume_beats_plain_abort_on_bits_and_energy(self):
+        abort = self._run(FullDuplexAbortPolicy)
+        resume = self._run(ResumeFromAbortPolicy)
+        assert (resume.nodes[0].bits_transmitted
+                < abort.nodes[0].bits_transmitted)
+        assert (resume.energy_per_delivered_bit
+                < abort.energy_per_delivered_bit)
+
+    def test_resume_latency_not_worse(self):
+        abort = self._run(FullDuplexAbortPolicy)
+        resume = self._run(ResumeFromAbortPolicy)
+        assert (resume.nodes[0].mean_latency_seconds
+                <= abort.nodes[0].mean_latency_seconds + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResumeFromAbortPolicy(resume_overhead_bits=-1)

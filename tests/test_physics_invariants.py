@@ -1,0 +1,137 @@
+"""Cross-layer physics invariants of the sample-level simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import ChannelModel, Scene
+from repro.fullduplex.selfinterference import (
+    compensate_envelope,
+    through_power_waveform,
+)
+from repro.hardware.reflection import ReflectionStates
+from repro.phy import BackscatterReceiver, PhyConfig
+
+
+class TestFieldSuperposition:
+    """The received field is linear in the reflectors."""
+
+    def setup_method(self):
+        self.scene = Scene.two_device_line(0.5)
+        self.scene.place("carol", 0.2, 0.3)
+        self.gains = ChannelModel(noise_power_watt=0.0).realize(
+            self.scene, rng=0
+        )
+        self.ambient = np.exp(
+            1j * np.linspace(0, 20 * np.pi, 256)
+        )
+
+    def _rx(self, reflections):
+        return self.gains.received("bob", self.ambient, reflections,
+                                   include_noise=False)
+
+    def test_two_reflectors_superpose(self):
+        g_a = np.full(256, 0.5)
+        g_c = np.full(256, 0.3)
+        together = self._rx({"alice": g_a, "carol": g_c})
+        a_only = self._rx({"alice": g_a})
+        c_only = self._rx({"carol": g_c})
+        direct = self._rx({})
+        assert np.allclose(together, a_only + c_only - direct)
+
+    def test_reflection_scales_linearly(self):
+        g1 = np.full(256, 0.2)
+        g2 = np.full(256, 0.4)
+        direct = self._rx({})
+        d1 = self._rx({"alice": g1}) - direct
+        d2 = self._rx({"alice": g2}) - direct
+        assert np.allclose(d2, 2 * d1)
+
+    def test_zero_reflection_is_direct_path(self):
+        assert np.allclose(self._rx({"alice": np.zeros(256)}),
+                           self._rx({}))
+
+
+class TestEnvelopeScaleInvariance:
+    """Decisions must not depend on absolute signal scale — the receiver
+    has no absolute reference (adaptive threshold, differential bits,
+    normalised sync)."""
+
+    @given(scale=st.floats(1e-6, 1e6))
+    @settings(max_examples=20, deadline=None)
+    def test_soft_decode_scale_invariant(self, scale):
+        cfg = PhyConfig(sample_rate_hz=32_000.0)
+        rx = BackscatterReceiver(cfg)
+        rng = np.random.default_rng(0)
+        soft = 1.0 + 0.2 * rng.standard_normal(64)
+        assert np.array_equal(
+            rx.soft_decode_bits(soft), rx.soft_decode_bits(soft * scale)
+        )
+
+    @given(scale=st.floats(1e-3, 1e3))
+    @settings(max_examples=20, deadline=None)
+    def test_sync_scale_invariant(self, scale):
+        from repro.phy.sync import acquire_frame_start
+
+        cfg = PhyConfig(sample_rate_hz=32_000.0)
+        rng = np.random.default_rng(1)
+        env = rng.uniform(0.5, 1.5, 4000)
+        a = acquire_frame_start(env, cfg)
+        b = acquire_frame_start(env * scale, cfg)
+        assert a.found == b.found
+        assert a.start_sample == b.start_sample
+        assert a.peak_correlation == pytest.approx(b.peak_correlation,
+                                                   rel=1e-9)
+
+
+class TestCompensationAlgebra:
+    @given(
+        pattern=st.lists(st.integers(0, 1), min_size=4, max_size=64),
+        level=st.floats(1e-3, 1e3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_compensation_inverts_gating_exactly(self, pattern, level):
+        states = ReflectionStates()
+        chips = np.asarray(pattern, dtype=np.uint8)
+        field = np.full(chips.size, level)
+        gated = field * through_power_waveform(chips, states)
+        restored = compensate_envelope(gated, chips, states)
+        assert np.allclose(restored, field)
+
+    @given(pattern=st.lists(st.integers(0, 1), min_size=4, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_through_power_bounded(self, pattern):
+        states = ReflectionStates()
+        tp = through_power_waveform(np.asarray(pattern, dtype=np.uint8),
+                                    states)
+        assert np.all(tp > 0)
+        assert np.all(tp <= 1.0)
+
+
+class TestEnergyConservation:
+    """Reflected + through power never exceeds the incident power."""
+
+    @given(
+        absorb=st.floats(0.0, 0.3),
+        reflect=st.floats(0.4, 1.0),
+        efficiency=st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reflection_state_power_split(self, absorb, reflect, efficiency):
+        states = ReflectionStates(absorb_gamma=absorb,
+                                  reflect_gamma=reflect,
+                                  efficiency=efficiency)
+        for chip in (0, 1):
+            reflected = states.gamma_for(chip) ** 2
+            through = states.through_for(chip) ** 2
+            assert reflected + through <= 1.0 + 1e-12
+
+    def test_harvest_never_exceeds_incident(self):
+        from repro.hardware.harvester import EnergyHarvester
+
+        h = EnergyHarvester(efficiency=1.0, sensitivity_watt=0.0)
+        rng = np.random.default_rng(2)
+        power = rng.uniform(0, 1e-4, 1000)
+        harvested = h.harvested_power(power)
+        assert np.all(harvested <= power + 1e-18)

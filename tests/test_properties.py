@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.filters import integrate_and_dump, moving_average
+from repro.dsp.ops import bit_errors, repeat_samples
+from repro.dsp.resample import hold_resample
+from repro.fullduplex.protocol import FeedbackProtocol
+from repro.fullduplex.config import FullDuplexConfig
+from repro.hardware.energy import EnergyModel
+from repro.mac.fdmac import FullDuplexAbortPolicy
+from repro.phy import coding as lc
+from repro.phy.crc import append_crc16, check_crc16
+from repro.phy.framing import Frame, frame_body_bits, parse_frame
+
+bits_arrays = st.lists(st.integers(0, 1), min_size=0, max_size=256).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+nonempty_bits = st.lists(st.integers(0, 1), min_size=1, max_size=256).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestCodingProperties:
+    @given(bits=bits_arrays)
+    def test_manchester_roundtrip(self, bits):
+        assert np.array_equal(
+            lc.manchester_decode(lc.manchester_encode(bits)), bits
+        )
+
+    @given(bits=bits_arrays, initial=st.integers(0, 1))
+    def test_fm0_roundtrip(self, bits, initial):
+        chips = lc.fm0_encode(bits, initial_level=initial)
+        assert np.array_equal(lc.fm0_decode(chips, initial_level=initial),
+                              bits)
+
+    @given(bits=nonempty_bits)
+    def test_manchester_exact_dc_balance(self, bits):
+        chips = lc.manchester_encode(bits)
+        assert int(chips.sum()) == bits.size
+
+    @given(bits=nonempty_bits, initial=st.integers(0, 1))
+    def test_fm0_transition_at_every_boundary(self, bits, initial):
+        chips = lc.fm0_encode(bits, initial_level=initial)
+        level = initial
+        for i in range(bits.size):
+            assert chips[2 * i] != level
+            level = int(chips[2 * i + 1])
+
+
+class TestCrcProperties:
+    @given(bits=bits_arrays)
+    def test_roundtrip(self, bits):
+        assert check_crc16(append_crc16(bits))
+
+    @given(bits=nonempty_bits, data=st.data())
+    def test_any_single_flip_detected(self, bits, data):
+        framed = append_crc16(bits)
+        pos = data.draw(st.integers(0, framed.size - 1))
+        framed[pos] ^= 1
+        assert not check_crc16(framed)
+
+
+class TestFramingProperties:
+    @given(payload=st.binary(min_size=0, max_size=64))
+    def test_frame_roundtrip(self, payload):
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        frame = Frame(payload_bits=bits)
+        parsed, ok = parse_frame(frame_body_bits(frame))
+        assert ok
+        assert np.array_equal(parsed.payload_bits, bits)
+
+
+class TestDspProperties:
+    @given(
+        xs=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200),
+        window=st.integers(1, 50),
+    )
+    def test_moving_average_bounded_by_extremes(self, xs, window):
+        arr = np.asarray(xs)
+        out = moving_average(arr, window)
+        assert np.all(out >= arr.min() - 1e-6)
+        assert np.all(out <= arr.max() + 1e-6)
+
+    @given(
+        xs=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=100),
+        period=st.integers(1, 20),
+    )
+    def test_integrate_and_dump_preserves_block_sums(self, xs, period):
+        arr = np.asarray(xs)
+        out = integrate_and_dump(arr, period)
+        n = arr.size // period
+        if n:
+            assert np.allclose(out.sum() * period,
+                               arr[: n * period].sum(), atol=1e-6)
+
+    @given(bits=nonempty_bits, factor=st.integers(1, 16))
+    def test_repeat_samples_inverse_of_decimation(self, bits, factor):
+        wave = repeat_samples(bits, factor)
+        back = integrate_and_dump(wave.astype(float), factor)
+        assert np.array_equal((back > 0.5).astype(np.uint8), bits)
+
+    @given(
+        symbols=st.lists(st.integers(0, 5), min_size=1, max_size=40),
+        total=st.integers(1, 500),
+    )
+    def test_hold_resample_length_and_order(self, symbols, total):
+        arr = np.asarray(symbols)
+        if total < arr.size:
+            return  # fewer samples than symbols: some symbols vanish
+        out = hold_resample(arr, total)
+        assert out.size == total
+        # order preserved: first sample is first symbol, last is last.
+        assert out[0] == arr[0]
+        assert out[-1] == arr[-1]
+
+    @given(a=nonempty_bits)
+    def test_bit_errors_identity_and_symmetry(self, a):
+        b = 1 - a
+        assert bit_errors(a, a) == 0
+        assert bit_errors(a, b) == a.size
+
+
+class TestProtocolProperties:
+    @given(
+        onset=st.integers(0, 4999),
+        packet=st.integers(128, 5000),
+        r=st.sampled_from([2, 8, 32, 64, 128]),
+        latency=st.integers(0, 64),
+    )
+    @settings(max_examples=200)
+    def test_abort_bit_invariants(self, onset, packet, r, latency):
+        if onset >= packet:
+            onset = packet - 1
+        policy = FullDuplexAbortPolicy(asymmetry_ratio=r,
+                                       detection_latency_bits=latency)
+        stop = policy.abort_bit(onset, packet)
+        if stop is not None:
+            assert stop < packet
+            assert stop % r == 0
+            assert stop > onset  # cannot stop before corruption starts
+
+    @given(
+        packet=st.integers(64, 4096),
+        onset=st.integers(0, 4095),
+        corrupted=st.booleans(),
+    )
+    @settings(max_examples=200)
+    def test_verdict_energy_never_exceeds_full_packet(self, packet, onset,
+                                                      corrupted):
+        cfg = FullDuplexConfig()
+        proto = FeedbackProtocol(config=cfg, energy=EnergyModel())
+        detection = min(onset, packet - 1) if corrupted else None
+        v = proto.verdict(packet, corrupted, detection)
+        assert 0 < v.bits_transmitted <= packet
+        assert v.tx_energy_joule <= proto.energy.tx_cost(packet) + 1e-18
+        assert v.delivered == (not corrupted)
+
+    @given(slots=st.integers(0, 64), detection=st.integers(0, 10_000))
+    def test_feedback_stream_is_ack_prefix_nack_suffix(self, slots, detection):
+        cfg = FullDuplexConfig()
+        proto = FeedbackProtocol(config=cfg, energy=EnergyModel())
+        stream = proto.feedback_stream(slots, detection)
+        assert stream.size == slots
+        # monotone: once NACK, always NACK
+        diffs = np.diff(stream.astype(int))
+        assert np.all(diffs <= 0) or stream.size < 2
+
+
+class TestEnergyLedgerProperties:
+    @given(
+        amounts=st.lists(st.floats(0, 1e-3), min_size=0, max_size=30),
+    )
+    def test_net_is_harvest_minus_spend(self, amounts):
+        from repro.hardware.energy import EnergyLedger
+
+        led = EnergyLedger()
+        total_spent = total_harvested = 0.0
+        for i, a in enumerate(amounts):
+            if i % 2:
+                led.spend("op", a)
+                total_spent += a
+            else:
+                led.harvest(a)
+                total_harvested += a
+        assert led.net_joule == np.float64(total_harvested) - total_spent

@@ -1,0 +1,134 @@
+"""Tests for the scenario builder, calibration report and CLI."""
+
+import numpy as np
+import pytest
+
+from repro.ambient import OfdmLikeSource
+from repro.analysis.calibration import CalibrationReport, calibration_report
+from repro.channel import ChannelModel
+from repro.fullduplex import FullDuplexConfig, MarginCollapseDetector
+from repro.fullduplex.scenarios import collision_scenario
+from repro.phy import PhyConfig
+
+
+def _stack():
+    cfg = FullDuplexConfig()
+    src = OfdmLikeSource(sample_rate_hz=cfg.phy.sample_rate_hz,
+                         bandwidth_hz=200e3)
+    return cfg, src
+
+
+class TestCollisionScenario:
+    def test_clean_run_decodes_and_passes_detector(self):
+        cfg, src = _stack()
+        obs = collision_scenario(cfg, src, rng=0, onset_bit=None)
+        assert obs.onset_bit is None
+        assert obs.bit_errors == 0
+        verdict = MarginCollapseDetector().run(np.abs(obs.margins))
+        assert not verdict.detected
+
+    def test_collided_run_corrupts_and_trips_detector(self):
+        cfg, src = _stack()
+        obs = collision_scenario(cfg, src, rng=0, onset_bit=64)
+        assert obs.bit_errors > 0
+        verdict = MarginCollapseDetector().run(np.abs(obs.margins))
+        assert verdict.detected
+        assert verdict.detection_bit >= 64
+
+    def test_errors_start_at_onset(self):
+        cfg, src = _stack()
+        obs = collision_scenario(cfg, src, rng=1, onset_bit=96)
+        errors_before = np.count_nonzero(
+            obs.data_bits[:90] != obs.decoded_bits[:90]
+        )
+        assert errors_before == 0
+
+    def test_shapes_consistent(self):
+        cfg, src = _stack()
+        obs = collision_scenario(cfg, src, rng=2, packet_bits=128,
+                                 onset_bit=32)
+        assert obs.soft_chips.size == obs.data_bits.size * 2
+        assert obs.margins.size == obs.data_bits.size
+        assert obs.decoded_bits.size == obs.data_bits.size
+
+    def test_onset_validation(self):
+        cfg, src = _stack()
+        with pytest.raises(ValueError):
+            collision_scenario(cfg, src, packet_bits=100, onset_bit=100)
+
+    def test_deterministic_given_seed(self):
+        cfg, src = _stack()
+        a = collision_scenario(cfg, src, rng=7, onset_bit=64)
+        b = collision_scenario(cfg, src, rng=7, onset_bit=64)
+        assert np.allclose(a.soft_chips, b.soft_chips)
+
+
+class TestCalibrationReport:
+    def test_default_stack_is_healthy(self):
+        cfg, src = _stack()
+        report = calibration_report(cfg.phy, src, rng=0)
+        assert isinstance(report, CalibrationReport)
+        assert report.healthy()
+        assert report.chip_mean_rel_std < 0.05
+        assert report.modulation_depth > 0.05
+        assert report.ambient_over_noise_db > 40
+
+    def test_narrow_source_fails_health(self):
+        # A slowly-fluctuating ambient (long coherence) wrecks the
+        # per-chip stability the receiver depends on.
+        from repro.ambient import FilteredNoiseSource
+
+        phy = PhyConfig()
+        bad = FilteredNoiseSource(sample_rate_hz=phy.sample_rate_hz,
+                                  coherence_samples=512)
+        report = calibration_report(phy, bad, rng=0)
+        assert report.chip_mean_rel_std > 0.08
+        assert not report.healthy()
+
+    def test_distance_lowers_depth(self):
+        cfg, src = _stack()
+        near = calibration_report(cfg.phy, src, probe_distance_m=0.3, rng=0)
+        far = calibration_report(cfg.phy, src, probe_distance_m=3.0, rng=0)
+        assert far.modulation_depth < near.modulation_depth
+
+
+class TestCli:
+    def test_parser_covers_subcommands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for argv in (["info"], ["ber"], ["mac"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_requires_subcommand(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "operating point" in out
+        assert "healthy" in out
+
+    def test_mac_runs_small(self, capsys):
+        from repro.cli import main
+
+        code = main(["mac", "--links", "2", "--horizon", "20",
+                     "--load", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fd-abort" in out and "goodput_bps" in out
+
+    def test_ber_runs_small(self, capsys):
+        from repro.cli import main
+
+        code = main(["--seed", "1", "ber", "--distance", "0.4",
+                     "--trials", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "forward  BER" in out and "feedback BER" in out

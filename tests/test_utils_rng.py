@@ -1,0 +1,73 @@
+"""RNG plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, random_bits, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, 10)
+        b = ensure_rng(7).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        gen = ensure_rng(np.random.SeedSequence(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_differ(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.integers(0, 10**9, 8),
+                                  b.integers(0, 10**9, 8))
+
+    def test_deterministic_given_seed(self):
+        a1, _ = spawn_rngs(42, 2)
+        a2, _ = spawn_rngs(42, 2)
+        assert np.array_equal(a1.integers(0, 10**9, 8),
+                              a2.integers(0, 10**9, 8))
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestRandomBits:
+    def test_values_are_binary(self):
+        bits = random_bits(3, 1000)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_dtype_and_length(self):
+        bits = random_bits(3, 17)
+        assert bits.dtype == np.uint8
+        assert bits.size == 17
+
+    def test_roughly_balanced(self):
+        bits = random_bits(3, 10_000)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_zero_length(self):
+        assert random_bits(3, 0).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_bits(3, -1)

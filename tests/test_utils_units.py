@@ -1,0 +1,109 @@
+"""Unit-conversion tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.units import (
+    SPEED_OF_LIGHT,
+    amplitude_from_power,
+    db_to_linear,
+    dbm_to_watt,
+    linear_to_db,
+    snr_db,
+    thermal_noise_power,
+    watt_to_dbm,
+    wavelength,
+)
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_three_db_doubles(self):
+        assert db_to_linear(10 * math.log10(2)) == pytest.approx(2.0)
+
+    def test_roundtrip(self):
+        for value in (0.001, 1.0, 42.0, 1e6):
+            assert db_to_linear(linear_to_db(value)) == pytest.approx(value)
+
+    def test_array_input(self):
+        out = db_to_linear(np.array([0.0, 10.0, 20.0]))
+        assert np.allclose(out, [1.0, 10.0, 100.0])
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+
+class TestAbsolutePower:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watt(30.0) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        for dbm in (-100.0, -30.0, 0.0, 20.0):
+            assert watt_to_dbm(dbm_to_watt(dbm)) == pytest.approx(dbm)
+
+    def test_watt_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            watt_to_dbm(0.0)
+
+
+class TestWavelength:
+    def test_tv_band(self):
+        # 539 MHz TV channel -> ~0.556 m.
+        assert wavelength(539e6) == pytest.approx(0.556, abs=1e-3)
+
+    def test_relation_to_c(self):
+        assert wavelength(1.0) == pytest.approx(SPEED_OF_LIGHT)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+
+class TestNoiseAndSnr:
+    def test_thermal_floor_minus_174dbm_per_hz(self):
+        p = thermal_noise_power(1.0)
+        assert watt_to_dbm(p) == pytest.approx(-173.98, abs=0.1)
+
+    def test_noise_figure_adds_db(self):
+        base = thermal_noise_power(1e3)
+        raised = thermal_noise_power(1e3, noise_figure_db=6.0)
+        assert linear_to_db(raised / base) == pytest.approx(6.0)
+
+    def test_bandwidth_scales_linearly(self):
+        assert thermal_noise_power(2e3) == pytest.approx(
+            2 * thermal_noise_power(1e3)
+        )
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power(0.0)
+
+    def test_snr_db(self):
+        assert snr_db(1e-6, 1e-9) == pytest.approx(30.0)
+
+    def test_snr_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            snr_db(0.0, 1.0)
+
+
+class TestAmplitude:
+    def test_amplitude_squares_to_power(self):
+        assert amplitude_from_power(4.0) == pytest.approx(2.0)
+
+    def test_vectorised(self):
+        out = amplitude_from_power(np.array([1.0, 9.0]))
+        assert np.allclose(out, [1.0, 3.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            amplitude_from_power(-1.0)
