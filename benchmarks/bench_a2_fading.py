@@ -13,16 +13,19 @@ from common import make_link, save_result, scene_at
 
 from repro.analysis.ber import measure_feedback_ber, measure_forward_ber
 from repro.analysis.reporting import format_table
-from repro.channel import ChannelModel, RayleighFading, RicianFading
+from repro.experiments import get_scenario
 
 
 def run_a2():
     _, link, _ = make_link()
     scene = scene_at(1.0)
+    base = get_scenario("calibrated-default")
     channels = {
-        "static": ChannelModel(),
-        "rician-k4": ChannelModel(device_fading=RicianFading(k_factor=4.0)),
-        "rayleigh": ChannelModel(device_fading=RayleighFading()),
+        "static": base.build_channel(),
+        "rician-k4": base.replace(
+            device_fading="rician", fading_k_factor=4.0
+        ).build_channel(),
+        "rayleigh": base.replace(device_fading="rayleigh").build_channel(),
     }
     rows = []
     no_early_stop = 10**9  # block fading makes errors bursty; early

@@ -5,14 +5,18 @@ Every bench follows the same pattern: run the experiment once inside
 print the table/series the paper's figure would show, save it under
 ``benchmarks/results/``, and assert the *shape* criterion recorded in
 EXPERIMENTS.md.
+
+Stacks come from the scenario registry (``"calibrated-default"`` with
+per-bench overrides), so the benches measure exactly the stack every
+other consumer of the library builds.
 """
 
 from __future__ import annotations
 
 import pathlib
 
-from repro.ambient import OfdmLikeSource
 from repro.channel import ChannelModel, Scene
+from repro.experiments import get_scenario
 from repro.fullduplex import FullDuplexConfig, FullDuplexLink
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -31,19 +35,15 @@ def make_link(
     bit_rate_bps: float = 1_000.0,
 ) -> tuple[FullDuplexConfig, FullDuplexLink, ChannelModel]:
     """The calibrated default link stack used across benches."""
-    from repro.phy import PhyConfig
-
-    phy = PhyConfig(bit_rate_bps=bit_rate_bps)
-    cfg = FullDuplexConfig(
-        phy=phy,
+    spec = get_scenario("calibrated-default").replace(
         asymmetry_ratio=asymmetry_ratio,
         self_compensation=self_compensation,
+        bit_rate_bps=bit_rate_bps,
     )
-    source = OfdmLikeSource(sample_rate_hz=phy.sample_rate_hz,
-                            bandwidth_hz=200e3)
-    return cfg, FullDuplexLink(cfg, source), ChannelModel()
+    stack = spec.build()
+    return stack.config, stack.link, stack.channel
 
 
 def scene_at(distance_m: float) -> Scene:
     """Two-device scene at a tag separation."""
-    return Scene.two_device_line(device_separation_m=distance_m)
+    return get_scenario("calibrated-default").build_scene(distance_m)

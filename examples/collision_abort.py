@@ -14,32 +14,25 @@ Run:  python examples/collision_abort.py
 
 import numpy as np
 
-from repro import (
-    ChannelModel,
-    FullDuplexConfig,
-    OfdmLikeSource,
-    Scene,
-    random_bits,
-)
+from repro import random_bits
+from repro.experiments import get_scenario
 from repro.fullduplex import FeedbackProtocol, MarginCollapseDetector
 from repro.hardware.energy import EnergyModel
 from repro.mac.node import run_policy_comparison
-from repro.mac.simulator import SimulationConfig
-from repro.mac.traffic import BernoulliLoss
 from repro.phy import BackscatterReceiver, BackscatterTransmitter
 
 
 def sample_level_demo() -> None:
     print("== part 1: one collision, observed at the sample level ==")
-    config = FullDuplexConfig()
+    stack = get_scenario("calibrated-default").build()
+    config = stack.config
     phy = config.phy
-    source = OfdmLikeSource(sample_rate_hz=phy.sample_rate_hz,
-                            bandwidth_hz=200e3)
+    source = stack.source
     rng = np.random.default_rng(7)
 
-    scene = Scene.two_device_line(device_separation_m=0.5)
+    scene = stack.scene
     scene.place("carol", 0.3, 0.4)
-    gains = ChannelModel().realize(scene, rng)
+    gains = stack.realize(rng)
 
     # Alice sends 190 bits; Carol collides from bit 64.
     packet_bits = 190
@@ -88,10 +81,11 @@ def sample_level_demo() -> None:
 
 def protocol_level_demo() -> None:
     print("== part 2: the same mechanism over a contended network ==")
-    cfg = SimulationConfig(
-        num_links=10, arrival_rate_pps=0.3, horizon_seconds=120.0,
-        payload_bytes=64, loss=BernoulliLoss(0.05),
-    )
+    cfg = get_scenario("calibrated-default").replace(
+        mac_num_links=10, mac_arrival_rate_pps=0.3,
+        mac_horizon_seconds=120.0, mac_payload_bytes=64,
+        mac_loss_probability=0.05,
+    ).build_mac_config()
     results = run_policy_comparison(cfg, seed=11)
     print(f"{'policy':10s} {'goodput':>10s} {'delivery':>9s} "
           f"{'tx energy':>10s} {'aborted':>8s}")

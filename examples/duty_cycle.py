@@ -11,6 +11,7 @@ cheaper failures → shorter waits → higher sustainable report rates.
 Run:  python examples/duty_cycle.py
 """
 
+from repro.experiments import get_scenario
 from repro.hardware.dutycycle import (
     EnergyNeutralController,
     sustainable_packet_rate,
@@ -19,8 +20,7 @@ from repro.hardware.energy import EnergyModel
 from repro.mac.arq import HalfDuplexArqPolicy, NoArqPolicy
 from repro.mac.fdmac import FullDuplexAbortPolicy
 from repro.mac.resume import ResumeFromAbortPolicy
-from repro.mac.simulator import NetworkSimulator, SimulationConfig
-from repro.mac.traffic import BernoulliLoss
+from repro.mac.simulator import NetworkSimulator
 
 #: Long-run harvest income measured at 0.5 m (see sensor_network.py).
 HARVEST_RATE_WATT = 50e-9
@@ -33,9 +33,11 @@ def measured_packet_cost(policy_factory) -> float:
     """Transmitter-side energy per *delivered* packet [J] under 25 %
     loss, from the protocol simulator.  The transmitting tag is the
     capacitor-constrained device this study duty-cycles."""
-    cfg = SimulationConfig(num_links=1, arrival_rate_pps=0.5,
-                           horizon_seconds=200.0, payload_bytes=64,
-                           loss=BernoulliLoss(0.25))
+    cfg = get_scenario("calibrated-default").replace(
+        mac_num_links=1, mac_arrival_rate_pps=0.5,
+        mac_horizon_seconds=200.0, mac_payload_bytes=64,
+        mac_loss_probability=0.25,
+    ).build_mac_config()
     metrics = NetworkSimulator(config=cfg, policy_factory=policy_factory,
                                energy=EnergyModel()).run(rng=9)
     delivered = sum(n.delivered_packets for n in metrics.nodes)

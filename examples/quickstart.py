@@ -12,48 +12,38 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import (
-    ChannelModel,
-    FullDuplexConfig,
-    FullDuplexLink,
-    OfdmLikeSource,
-    Scene,
-    random_bits,
-    random_frame,
-)
+from repro import random_bits, random_frame
+from repro.experiments import get_scenario
 
 
 def main() -> None:
     rng = np.random.default_rng(2013)
 
-    # 1. The link configuration: default PHY (1 kbps Manchester over a
-    #    256 kHz simulation), asymmetry ratio r = 64.
-    config = FullDuplexConfig()
+    # 1. The whole stack from one named scenario: default PHY (1 kbps
+    #    Manchester over a 256 kHz simulation), asymmetry ratio r = 64,
+    #    TV-mux-like ambient, tags 0.5 m apart, tower ~1 km away.
+    spec = get_scenario("calibrated-default")
+    stack = spec.build()
+    config = stack.config
+    print(f"scenario       : {spec.name}")
     print(f"data rate      : {config.phy.bit_rate_bps:.0f} bit/s")
     print(f"feedback rate  : {config.feedback_rate_bps:.1f} bit/s "
           f"(r = {config.asymmetry_ratio})")
 
-    # 2. The ambient excitation: a synthetic TV-mux-like wideband source.
-    source = OfdmLikeSource(
-        sample_rate_hz=config.phy.sample_rate_hz, bandwidth_hz=200e3
-    )
-
-    # 3. The scene: tags 0.5 m apart, the broadcast tower ~1 km away.
-    scene = Scene.two_device_line(device_separation_m=0.5)
-    channel = ChannelModel()
-    gains = channel.realize(scene, rng)
+    # 2. One channel realisation of the scenario's scene.
+    gains = stack.realize(rng)
     print(f"ambient at bob : "
           f"{10 * np.log10(gains.direct_power('bob')) + 30:.1f} dBm")
 
-    # 4. One exchange: a 64-byte frame from Alice (557 bits of airtime —
+    # 3. One exchange: a 64-byte frame from Alice (557 bits of airtime —
     #    room for 6 feedback payload bits after the polarity pilot),
     #    with Bob's feedback riding on top of it.
-    link = FullDuplexLink(config, source)
+    link = stack.link
     frame = random_frame(64, rng)
     feedback = random_bits(rng, 6)
     exchange = link.run(gains, frame, feedback, rng=rng)
 
-    # 5. Results.
+    # 4. Results.
     print(f"frame delivered: {exchange.data_delivered}")
     payload_ok = exchange.data_delivered and np.array_equal(
         exchange.data_result.frame.payload_bits, frame.payload_bits

@@ -13,19 +13,21 @@ Run:  python examples/range_vs_rate.py
 
 import numpy as np
 
-from repro import ChannelModel, FullDuplexConfig, FullDuplexLink, Scene
-from repro.ambient import OfdmLikeSource
+from repro import ChannelModel, FullDuplexLink, Scene
 from repro.analysis.ber import measure_frame_delivery
+from repro.experiments import get_scenario
 from repro.fullduplex.rateadapt import RateAdapter
-from repro.phy import PhyConfig
+
+SCENARIO = get_scenario("calibrated-default")
 
 
 def make_link(bit_rate_bps: float) -> tuple[FullDuplexLink, ChannelModel]:
-    phy = PhyConfig(bit_rate_bps=bit_rate_bps)
-    config = FullDuplexConfig(phy=phy)
-    source = OfdmLikeSource(sample_rate_hz=phy.sample_rate_hz,
-                            bandwidth_hz=200e3)
-    return FullDuplexLink(config, source), ChannelModel()
+    stack = SCENARIO.replace(bit_rate_bps=bit_rate_bps).build()
+    return stack.link, stack.channel
+
+
+def scene_at(distance_m: float) -> Scene:
+    return SCENARIO.build_scene(distance_m)
 
 
 def delivery_matrix() -> None:
@@ -38,7 +40,7 @@ def delivery_matrix() -> None:
         cells = []
         for d in distances:
             est = measure_frame_delivery(
-                link, channel, Scene.two_device_line(d),
+                link, channel, scene_at(d),
                 payload_bytes=8, trials=6, rng=5,
             )
             cells.append(f"{1.0 - est.rate:7.0%} ")
@@ -63,7 +65,7 @@ def rate_adaptation_run() -> None:
         distance = trajectory.distance_to((0.0, 0.0), float(packet))
         link, channel = make_link(adapter.current_rate_bps)
         est = measure_frame_delivery(
-            link, channel, Scene.two_device_line(distance),
+            link, channel, scene_at(distance),
             payload_bytes=8, trials=1, rng=rng,
         )
         delivered = est.errors == 0

@@ -17,19 +17,9 @@ Run:  python examples/sensor_network.py
 
 import numpy as np
 
-from repro import (
-    ChannelModel,
-    EnergyModel,
-    FullDuplexConfig,
-    FullDuplexLink,
-    OfdmLikeSource,
-    Scene,
-    random_bits,
-    random_frame,
-)
+from repro import EnergyModel, random_bits, random_frame
+from repro.experiments import get_scenario
 from repro.mac.node import run_policy_comparison
-from repro.mac.simulator import SimulationConfig
-from repro.mac.traffic import BernoulliLoss
 
 
 def harvest_income_nw() -> tuple[float, float]:
@@ -38,17 +28,13 @@ def harvest_income_nw() -> tuple[float, float]:
     An idle tag absorbs the full ambient field; a tag in an exchange
     loses the fraction its own modulator reflects.
     """
-    config = FullDuplexConfig()
-    source = OfdmLikeSource(sample_rate_hz=config.phy.sample_rate_hz,
-                            bandwidth_hz=200e3)
-    link = FullDuplexLink(config, source)
-    channel = ChannelModel()
-    scene = Scene.two_device_line(device_separation_m=0.5)
+    stack = get_scenario("calibrated-default").build()
+    config, source, link = stack.config, stack.source, stack.link
     rng = np.random.default_rng(3)
     active_rates = []
     idle_rates = []
     for _ in range(5):
-        gains = channel.realize(scene, rng)
+        gains = stack.realize(rng)
         frame = random_frame(64, rng)
         exchange = link.run(gains, frame, random_bits(rng, 8), rng=rng)
         duration = exchange.data_bits_sent.size / config.phy.bit_rate_bps
@@ -67,10 +53,11 @@ def harvest_income_nw() -> tuple[float, float]:
 
 def main() -> None:
     horizon = 300.0
-    cfg = SimulationConfig(
-        num_links=8, arrival_rate_pps=0.2, horizon_seconds=horizon,
-        payload_bytes=64, loss=BernoulliLoss(0.1),
-    )
+    cfg = get_scenario("calibrated-default").replace(
+        mac_num_links=8, mac_arrival_rate_pps=0.2,
+        mac_horizon_seconds=horizon, mac_payload_bytes=64,
+        mac_loss_probability=0.1,
+    ).build_mac_config()
     energy = EnergyModel()
     results = run_policy_comparison(cfg, seed=21, energy=energy)
 

@@ -7,20 +7,18 @@ measures what instantaneous feedback buys — all pure numpy/scipy.
 Quickstart::
 
     import numpy as np
-    from repro import (
-        ChannelModel, FullDuplexConfig, FullDuplexLink, OfdmLikeSource,
-        Scene, random_frame, random_bits,
-    )
+    from repro import get_scenario, random_frame, random_bits
 
-    cfg = FullDuplexConfig()
-    source = OfdmLikeSource(sample_rate_hz=cfg.phy.sample_rate_hz,
-                            bandwidth_hz=200e3)
-    link = FullDuplexLink(cfg, source)
-    scene = Scene.two_device_line(device_separation_m=1.0)
-    gains = ChannelModel().realize(scene, rng=np.random.default_rng(0))
-    exchange = link.run(gains, random_frame(16, rng=0),
-                        feedback_bits=random_bits(0, 4), rng=1)
+    stack = get_scenario("calibrated-default").build()
+    gains = stack.realize(np.random.default_rng(0))
+    exchange = stack.link.run(gains, random_frame(16, rng=0),
+                              feedback_bits=random_bits(0, 4), rng=1)
     print(exchange.data_delivered, exchange.feedback_errors)
+
+Deployment scenes are declarative (:class:`repro.experiments.ScenarioSpec`)
+and named (``scenario_names()``); Monte-Carlo measurements run through
+:class:`repro.experiments.ExperimentRunner`, serially or across a
+process pool with bitwise-identical results.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
@@ -31,6 +29,14 @@ from repro.ambient import (
     FilteredNoiseSource,
     OfdmLikeSource,
     ToneSource,
+)
+from repro.experiments import (
+    ExperimentRunner,
+    ResultTable,
+    ScenarioSpec,
+    ScenarioStack,
+    get_scenario,
+    scenario_names,
 )
 from repro.channel import (
     ChannelModel,
@@ -85,6 +91,7 @@ __all__ = [
     "EnergyHarvester",
     "EnergyLedger",
     "EnergyModel",
+    "ExperimentRunner",
     "FeedbackDecoder",
     "FeedbackProtocol",
     "FilteredNoiseSource",
@@ -106,12 +113,17 @@ __all__ = [
     "RateAdapter",
     "RayleighFading",
     "ReflectionStates",
+    "ResultTable",
     "RicianFading",
+    "ScenarioSpec",
+    "ScenarioStack",
     "Scene",
     "SimulationConfig",
     "TagFrontEnd",
     "ToneSource",
     "TwoRayGroundPathLoss",
+    "get_scenario",
     "random_bits",
     "random_frame",
+    "scenario_names",
 ]

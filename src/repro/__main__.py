@@ -1,0 +1,6 @@
+"""Package entry point: ``python -m repro`` runs the CLI."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,13 +25,28 @@ class Sweep1D:
     columns: dict[str, list] = field(default_factory=dict)
 
     def add_point(self, value, **metrics) -> None:
-        """Append one sweep point with its metric values."""
+        """Append one sweep point with its metric values.
+
+        Every point after the first must supply exactly the metric names
+        the first point established — a missing or brand-new name would
+        leave ragged columns, so both raise :class:`ValueError` before
+        any state is mutated.
+        """
+        if self.columns:
+            new = sorted(set(metrics) - set(self.columns))
+            if new:
+                raise ValueError(
+                    f"unknown metric(s) {new} at value {value!r}; "
+                    f"the sweep records {sorted(self.columns)}"
+                )
+            for name in self.columns:
+                if name not in metrics:
+                    raise ValueError(
+                        f"metric {name!r} missing at value {value!r}"
+                    )
         self.values.append(value)
         for name, metric in metrics.items():
             self.columns.setdefault(name, []).append(metric)
-        for name in self.columns:
-            if name not in metrics:
-                raise ValueError(f"metric {name!r} missing at value {value!r}")
 
     def column(self, name: str) -> list:
         """One metric's series across the sweep."""

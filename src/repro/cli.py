@@ -1,10 +1,16 @@
 """Command-line interface: quick looks without writing a script.
 
-Three subcommands, all printing plain-text reports::
+Every subcommand is driven by the scenario registry — pick a named
+deployment scene with ``--scenario`` and override individual knobs with
+flags::
 
-    python -m repro.cli info                 # operating point + calibration
-    python -m repro.cli ber --distance 1.0   # both directions' BER at a range
-    python -m repro.cli mac --links 8        # protocol comparison table
+    python -m repro scenario list            # what scenes exist
+    python -m repro scenario show far-edge   # one scene as JSON
+    python -m repro info                     # operating point + calibration
+    python -m repro ber --distance 1.0       # both directions' BER
+    python -m repro mac --scenario dense-mac # protocol comparison table
+    python -m repro sweep --param distance_m --values 0.5,1,2 \\
+        --metric forward-ber --workers 4     # registry-driven sweep
 
 The CLI exists so a downstream user can sanity-check an install and
 explore the headline trade-offs before touching the API.
@@ -13,36 +19,63 @@ explore the headline trade-offs before touching the API.
 from __future__ import annotations
 
 import argparse
+import sys
+from dataclasses import fields
 
-import numpy as np
+
+def _cli_error(message) -> SystemExit:
+    """Print a clean error and return the SystemExit to raise.
+
+    Used for bad user input (unknown scenario names, invalid knob
+    values) where a traceback would bury the message; genuine library
+    bugs still propagate with their traceback.
+    """
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
 
 
-def _make_stack(bit_rate_bps: float):
-    from repro.ambient import OfdmLikeSource
-    from repro.channel import ChannelModel
-    from repro.fullduplex import FullDuplexConfig, FullDuplexLink
-    from repro.phy import PhyConfig
+def _get_scenario_or_exit(name: str):
+    from repro.experiments import get_scenario
 
-    phy = PhyConfig(bit_rate_bps=bit_rate_bps)
-    config = FullDuplexConfig(phy=phy)
-    source = OfdmLikeSource(sample_rate_hz=phy.sample_rate_hz,
-                            bandwidth_hz=200e3)
-    return config, FullDuplexLink(config, source), ChannelModel(), source
+    try:
+        return get_scenario(name)
+    except ValueError as exc:
+        raise _cli_error(exc) from None
+
+
+def _replace_or_exit(spec, **overrides):
+    try:
+        return spec.replace(**overrides)
+    except ValueError as exc:
+        raise _cli_error(exc) from None
+
+
+def _load_spec(args: argparse.Namespace):
+    """The selected scenario spec with any CLI overrides applied."""
+    spec = _get_scenario_or_exit(args.scenario)
+    overrides = {}
+    if getattr(args, "rate", None) is not None:
+        overrides["bit_rate_bps"] = args.rate
+    if getattr(args, "distance", None) is not None:
+        overrides["distance_m"] = args.distance
+    return _replace_or_exit(spec, **overrides) if overrides else spec
 
 
 def cmd_info(args: argparse.Namespace) -> int:
     """Print the operating point and the calibration report."""
     from repro.analysis.calibration import calibration_report
 
-    config, _, channel, source = _make_stack(args.rate)
-    phy = config.phy
+    spec = _load_spec(args)
+    stack = spec.build()
+    config, phy = stack.config, stack.config.phy
+    print(f"scenario: {spec.name}")
     print("operating point")
     print(f"  data rate        : {phy.bit_rate_bps:.0f} bit/s "
           f"({phy.coding}, {phy.samples_per_chip} samples/chip)")
     print(f"  feedback rate    : {config.feedback_rate_bps:.2f} bit/s "
           f"(r = {config.asymmetry_ratio})")
     print(f"  sample rate      : {phy.sample_rate_hz:.0f} Hz")
-    report = calibration_report(phy, source, channel, rng=0)
+    report = calibration_report(phy, stack.source, stack.channel, rng=0)
     print("calibration")
     print(f"  chip-mean rel std: {report.chip_mean_rel_std:.3f}")
     print(f"  modulation depth : {report.modulation_depth:.3f} (at 0.5 m)")
@@ -52,24 +85,47 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ber_aggregate(table) -> dict:
+    """Collapse per-trial error tallies into one rate record."""
+    errors = int(table.sum("errors"))
+    bits = int(table.sum("bits"))
+    return {
+        "errors": errors,
+        "bits": bits,
+        "rate": errors / bits if bits else 0.0,
+        "trials": len(table),
+    }
+
+
 def cmd_ber(args: argparse.Namespace) -> int:
     """Measure both directions' BER at one distance."""
-    from repro.analysis.ber import measure_feedback_ber, measure_forward_ber
-    from repro.channel import Scene
+    from repro.analysis.ber import BerEstimate
+    from repro.experiments import (
+        ExperimentRunner,
+        error_budget,
+        feedback_ber_trial,
+        forward_ber_trial,
+    )
 
-    _, link, channel, _ = _make_stack(args.rate)
-    scene = Scene.two_device_line(device_separation_m=args.distance)
-    fwd = measure_forward_ber(
-        link, channel, scene, bits_per_trial=256,
-        min_errors=20, max_trials=args.trials, min_trials=5, rng=args.seed,
-    )
-    fb = measure_feedback_ber(
-        link, channel, scene, bits_per_trial=256,
-        min_errors=20, max_trials=args.trials, min_trials=5, rng=args.seed,
-    )
-    print(f"distance {args.distance} m, rate {args.rate:.0f} bit/s")
-    print(f"  forward  BER: {fwd}")
-    print(f"  feedback BER: {fb}")
+    spec = _load_spec(args)
+
+    def measure(trial) -> BerEstimate:
+        try:
+            runner = ExperimentRunner(
+                trial=trial, max_trials=args.trials,
+                min_trials=min(5, args.trials),
+                stop_when=error_budget(20), workers=args.workers,
+            )
+        except ValueError as exc:
+            raise _cli_error(exc) from None
+        table = runner.run(spec, seed=args.seed)
+        return BerEstimate(errors=int(table.sum("errors")),
+                           trials=int(table.sum("bits")))
+
+    print(f"scenario {spec.name}: distance {spec.distance_m} m, "
+          f"rate {spec.bit_rate_bps:.0f} bit/s")
+    print(f"  forward  BER: {measure(forward_ber_trial)}")
+    print(f"  feedback BER: {measure(feedback_ber_trial)}")
     return 0
 
 
@@ -78,16 +134,18 @@ def cmd_mac(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table
     from repro.mac.node import run_policy_comparison, standard_policies
     from repro.mac.resume import ResumeFromAbortPolicy
-    from repro.mac.simulator import SimulationConfig
-    from repro.mac.traffic import BernoulliLoss
 
-    cfg = SimulationConfig(
-        num_links=args.links,
-        arrival_rate_pps=args.load,
-        horizon_seconds=args.horizon,
-        payload_bytes=64,
-        loss=BernoulliLoss(args.loss),
+    spec = _load_spec(args)
+    overrides = {
+        "mac_num_links": args.links,
+        "mac_arrival_rate_pps": args.load,
+        "mac_loss_probability": args.loss,
+        "mac_horizon_seconds": args.horizon,
+    }
+    spec = _replace_or_exit(
+        spec, **{k: v for k, v in overrides.items() if v is not None}
     )
+    cfg = spec.build_mac_config()
     policies = standard_policies()
     policies["fd-resume"] = lambda: ResumeFromAbortPolicy()
     results = run_policy_comparison(cfg, policies=policies, seed=args.seed)
@@ -106,6 +164,97 @@ def cmd_mac(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """List the registry or dump one scenario as JSON."""
+    import json
+
+    from repro.analysis.reporting import format_table
+    from repro.experiments.registry import describe_scenarios
+
+    if args.action == "list":
+        print(format_table(["scenario", "description"],
+                           describe_scenarios()))
+        return 0
+    print(json.dumps(_get_scenario_or_exit(args.name).to_dict(), indent=2))
+    return 0
+
+
+#: CLI metric name → standard trial function name in the runner module.
+SWEEP_METRICS = {
+    "forward-ber": "forward_ber_trial",
+    "feedback-ber": "feedback_ber_trial",
+    "frame-delivery": "frame_delivery_trial",
+}
+
+
+def _parse_sweep_values(parameter: str, text: str) -> list:
+    """Comma-separated values, typed by the spec field being swept."""
+    from repro.experiments import ScenarioSpec
+
+    by_name = {f.name: f for f in fields(ScenarioSpec)}
+    if parameter not in by_name:
+        raise _cli_error(
+            f"unknown sweep parameter {parameter!r}; "
+            f"choose a ScenarioSpec field"
+        )
+    kind = by_name[parameter].type
+    items = [v for v in (s.strip() for s in text.split(",")) if v]
+    if not items:
+        raise _cli_error("--values must name at least one value")
+    if kind in ("int", "float"):
+        cast = int if kind == "int" else float
+        try:
+            return [cast(v) for v in items]
+        except ValueError:
+            raise _cli_error(
+                f"{parameter} values must be {kind}, got {text!r}"
+            ) from None
+    if kind == "bool":
+        flags = {"true": True, "false": False, "1": True, "0": False}
+        try:
+            return [flags[v.lower()] for v in items]
+        except KeyError as exc:
+            raise _cli_error(
+                f"{parameter} values must be true/false, "
+                f"got {exc.args[0]!r}"
+            ) from None
+    return items
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep one scenario knob, printing (and optionally saving) a table."""
+    import pathlib
+
+    from repro.experiments import ExperimentRunner, error_budget
+    from repro.experiments import runner as runner_mod
+
+    spec = _load_spec(args)
+    values = _parse_sweep_values(args.param, args.values)
+    for value in values:  # reject bad knob values before spending trials
+        _replace_or_exit(spec, **{args.param: value})
+    trial = getattr(runner_mod, SWEEP_METRICS[args.metric])
+    try:
+        runner = ExperimentRunner(
+            trial=trial, max_trials=args.trials,
+            min_trials=min(5, args.trials),
+            stop_when=error_budget(args.min_errors), workers=args.workers,
+        )
+    except ValueError as exc:
+        raise _cli_error(exc) from None
+    table = runner.sweep(spec, args.param, values, seed=args.seed,
+                         aggregate=_ber_aggregate)
+    print(f"scenario {spec.name}: {args.metric} vs {args.param} "
+          f"({args.trials} trials/point, {max(1, args.workers)} workers)")
+    print(table.format())
+    if args.json:
+        pathlib.Path(args.json).write_text(table.to_json() + "\n")
+        print(f"wrote {args.json}")
+    if args.csv:
+        pathlib.Path(args.csv).write_text(table.to_csv())
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument schema (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -116,30 +265,67 @@ def build_parser() -> argparse.ArgumentParser:
                         help="experiment seed (default 0)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_scenario_flag(p):
+        p.add_argument("--scenario", default="calibrated-default",
+                       help="named scenario preset (see `scenario list`)")
+
     p_info = sub.add_parser("info", help="operating point + calibration")
-    p_info.add_argument("--rate", type=float, default=1000.0,
-                        help="data rate [bit/s]")
+    add_scenario_flag(p_info)
+    p_info.add_argument("--rate", type=float, default=None,
+                        help="data rate [bit/s] (overrides the scenario)")
     p_info.set_defaults(func=cmd_info)
 
     p_ber = sub.add_parser("ber", help="BER at one distance")
-    p_ber.add_argument("--distance", type=float, default=1.0,
-                       help="tag separation [m]")
-    p_ber.add_argument("--rate", type=float, default=1000.0)
+    add_scenario_flag(p_ber)
+    p_ber.add_argument("--distance", type=float, default=None,
+                       help="tag separation [m] (overrides the scenario)")
+    p_ber.add_argument("--rate", type=float, default=None)
     p_ber.add_argument("--trials", type=int, default=15)
+    p_ber.add_argument("--workers", type=int, default=1,
+                       help="parallel trial processes (default serial)")
     p_ber.set_defaults(func=cmd_ber)
 
     p_mac = sub.add_parser("mac", help="protocol comparison")
-    p_mac.add_argument("--links", type=int, default=8)
-    p_mac.add_argument("--load", type=float, default=0.3,
+    add_scenario_flag(p_mac)
+    p_mac.add_argument("--links", type=int, default=None)
+    p_mac.add_argument("--load", type=float, default=None,
                        help="packet arrivals per second per link")
-    p_mac.add_argument("--loss", type=float, default=0.1)
-    p_mac.add_argument("--horizon", type=float, default=120.0)
+    p_mac.add_argument("--loss", type=float, default=None)
+    p_mac.add_argument("--horizon", type=float, default=None)
     p_mac.set_defaults(func=cmd_mac)
+
+    p_scen = sub.add_parser("scenario", help="inspect the scenario registry")
+    scen_sub = p_scen.add_subparsers(dest="action", required=True)
+    p_list = scen_sub.add_parser("list", help="table of named scenarios")
+    p_list.set_defaults(func=cmd_scenario, action="list")
+    p_show = scen_sub.add_parser("show", help="one scenario as JSON")
+    p_show.add_argument("name")
+    p_show.set_defaults(func=cmd_scenario, action="show")
+
+    p_sweep = sub.add_parser("sweep", help="sweep one scenario knob")
+    add_scenario_flag(p_sweep)
+    p_sweep.add_argument("--param", default="distance_m",
+                         help="ScenarioSpec field to sweep")
+    p_sweep.add_argument("--values", required=True,
+                         help="comma-separated values, e.g. 0.5,1,2")
+    p_sweep.add_argument("--metric", choices=sorted(SWEEP_METRICS),
+                         default="forward-ber")
+    p_sweep.add_argument("--trials", type=int, default=10,
+                         help="max trials per sweep point")
+    p_sweep.add_argument("--min-errors", type=int, default=20,
+                         help="error budget for early stopping")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="parallel trial processes (default serial)")
+    p_sweep.add_argument("--json", default=None,
+                         help="also write the table as JSON to this path")
+    p_sweep.add_argument("--csv", default=None,
+                         help="also write the table as CSV to this path")
+    p_sweep.set_defaults(func=cmd_sweep)
     return parser
 
 
 def main(argv=None) -> int:
-    """Entry point (``python -m repro.cli``)."""
+    """Entry point (``python -m repro`` / the ``repro`` console script)."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

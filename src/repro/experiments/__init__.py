@@ -1,0 +1,62 @@
+"""Declarative experiment layer: scenarios, presets and trial runners.
+
+Every consumer of the library needs the same four objects wired
+together — a :class:`~repro.fullduplex.config.FullDuplexConfig`, a
+:class:`~repro.fullduplex.link.FullDuplexLink`, a
+:class:`~repro.channel.link.ChannelModel` and a
+:class:`~repro.channel.geometry.Scene` — and most measurements are the
+same shape: many independent Monte-Carlo trials over that stack.  This
+package owns both halves:
+
+* :mod:`repro.experiments.spec` — :class:`ScenarioSpec`, one declarative
+  record that builds the whole stack and round-trips through JSON;
+* :mod:`repro.experiments.registry` — named presets (``"calibrated-
+  default"``, ``"rayleigh-mobile"``, …) registered via decorator;
+* :mod:`repro.experiments.runner` — :class:`ExperimentRunner`, a
+  reproducible serial/parallel Monte-Carlo trial driver with adaptive
+  stopping;
+* :mod:`repro.experiments.results` — :class:`ResultTable`, the records
+  + metadata container every runner returns.
+
+Quickstart::
+
+    from repro.experiments import ExperimentRunner, get_scenario
+    from repro.experiments.runner import forward_ber_trial
+
+    spec = get_scenario("calibrated-default").replace(distance_m=1.0)
+    runner = ExperimentRunner(trial=forward_ber_trial, max_trials=20,
+                              workers=4)
+    table = runner.run(spec, seed=0)
+    print(table.format())
+"""
+
+from repro.experiments.registry import (
+    get_scenario,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import (
+    ExperimentRunner,
+    error_budget,
+    feedback_ber_trial,
+    forward_ber_trial,
+    frame_delivery_trial,
+)
+from repro.experiments.spec import ScenarioSpec, ScenarioStack
+
+__all__ = [
+    "ExperimentRunner",
+    "ResultTable",
+    "ScenarioSpec",
+    "ScenarioStack",
+    "error_budget",
+    "feedback_ber_trial",
+    "forward_ber_trial",
+    "frame_delivery_trial",
+    "get_scenario",
+    "register_scenario",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,181 @@
+"""Named scenario presets.
+
+A preset is a zero-argument factory returning a
+:class:`~repro.experiments.spec.ScenarioSpec`, registered under a name
+via the :func:`scenario` decorator.  New workloads are one function
+each::
+
+    @scenario("warehouse-aisle")
+    def _warehouse_aisle() -> ScenarioSpec:
+        return ScenarioSpec(name="warehouse-aisle",
+                            description="10 m cluttered aisle",
+                            source_pathloss_exponent=3.2, distance_m=2.0)
+
+The registry is the single source of scenario diversity: the CLI's
+``scenario list``/``sweep`` subcommands, the benchmarks and the examples
+all look their stacks up here instead of hand-wiring them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.spec import ScenarioSpec
+
+_REGISTRY: dict[str, Callable[[], ScenarioSpec]] = {}
+
+
+def register_scenario(
+    name: str, factory: Callable[[], ScenarioSpec]
+) -> None:
+    """Register ``factory`` under ``name`` (duplicate names are an error)."""
+    if name in _REGISTRY:
+        raise ValueError(f"scenario {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def scenario(name: str):
+    """Decorator form of :func:`register_scenario`."""
+
+    def decorate(factory: Callable[[], ScenarioSpec]):
+        register_scenario(name, factory)
+        return factory
+
+    return decorate
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Build the named preset's spec (fresh instance each call)."""
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        )
+    return _REGISTRY[name]()
+
+
+def scenario_names() -> list[str]:
+    """All registered preset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def describe_scenarios() -> list[tuple[str, str]]:
+    """``(name, description)`` rows for every preset, sorted by name."""
+    return [(name, get_scenario(name).description) for name in scenario_names()]
+
+
+# ---------------------------------------------------------------------------
+# Built-in presets.  The calibrated default is the operating point every
+# benchmark and example historically hand-wired; the rest are the
+# deployment scenes the paper's story ranges over.
+# ---------------------------------------------------------------------------
+
+
+@scenario("calibrated-default")
+def _calibrated_default() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="calibrated-default",
+        description="canonical operating point: 1 kbps, r=64, 0.5 m, "
+        "TV-mux ambient, static channel",
+    )
+
+
+@scenario("near-field")
+def _near_field() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="near-field",
+        description="tags almost touching (0.2 m): the high-SNR regime",
+        distance_m=0.2,
+    )
+
+
+@scenario("far-edge")
+def _far_edge() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="far-edge",
+        description="2.5 m separation: the edge of the operating range",
+        distance_m=2.5,
+    )
+
+
+@scenario("rayleigh-mobile")
+def _rayleigh_mobile() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="rayleigh-mobile",
+        description="1 m link under Rayleigh block fading (rich "
+        "scattering, people moving)",
+        distance_m=1.0,
+        device_fading="rayleigh",
+    )
+
+
+@scenario("rician-cluttered")
+def _rician_cluttered() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="rician-cluttered",
+        description="1 m link with a dominant line of sight plus "
+        "clutter (Rician K=4)",
+        distance_m=1.0,
+        device_fading="rician",
+        fading_k_factor=4.0,
+    )
+
+
+@scenario("tone-source")
+def _tone_source() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="tone-source",
+        description="constant-envelope illuminator: isolates the "
+        "receiver from ambient fluctuation",
+        source_kind="tone",
+    )
+
+
+@scenario("slow-robust")
+def _slow_robust() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="slow-robust",
+        description="500 bps long-integration point for extended range",
+        bit_rate_bps=500.0,
+        distance_m=1.5,
+    )
+
+
+@scenario("fast-short-range")
+def _fast_short_range() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fast-short-range",
+        description="4 kbps at 0.3 m: rate-for-range trade, near end",
+        bit_rate_bps=4_000.0,
+        distance_m=0.3,
+    )
+
+
+@scenario("uncompensated")
+def _uncompensated() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="uncompensated",
+        description="self-interference compensation disabled (ablation)",
+        self_compensation=False,
+    )
+
+
+@scenario("fine-feedback")
+def _fine_feedback() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fine-feedback",
+        description="asymmetry ratio 16: fast abort decisions, less "
+        "feedback averaging gain",
+        asymmetry_ratio=16,
+    )
+
+
+@scenario("dense-mac")
+def _dense_mac() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="dense-mac",
+        description="24 contending links at high load: the congested "
+        "collision domain",
+        mac_num_links=24,
+        mac_arrival_rate_pps=1.0,
+        mac_loss_probability=0.2,
+    )

@@ -1,0 +1,125 @@
+"""Result container: uniform records plus run metadata.
+
+:class:`ResultTable` is the one shape every experiment produces — a list
+of dict records sharing one column set, plus a metadata dict describing
+how they were obtained (scenario, seed, worker count, stopping reason).
+It renders to the benchmark table format, serialises to JSON and CSV,
+and supersedes the per-use-case accumulators the sweeps used to
+hand-roll.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResultTable:
+    """Records with a fixed column set, plus run metadata.
+
+    Attributes
+    ----------
+    columns:
+        Record keys, in presentation order.  Locked in by the first
+        appended record when constructed empty.
+    records:
+        One dict per trial / sweep point, keys exactly ``columns``.
+    metadata:
+        Provenance: scenario dict, seed, workers, stopping info, …
+    """
+
+    columns: list[str] = field(default_factory=list)
+    records: list[dict] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def append(self, record: dict) -> None:
+        """Add one record; its keys must match the table's columns."""
+        if not self.columns:
+            self.columns = list(record)
+        elif set(record) != set(self.columns):
+            extra = sorted(set(record) - set(self.columns))
+            missing = sorted(set(self.columns) - set(record))
+            raise ValueError(
+                f"record keys do not match columns "
+                f"(extra {extra}, missing {missing})"
+            )
+        self.records.append(dict(record))
+
+    def extend(self, records) -> None:
+        """Append many records (same validation per record)."""
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def column(self, name: str) -> list:
+        """One column's values across all records."""
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}; have {self.columns}")
+        return [r[name] for r in self.records]
+
+    def rows(self) -> list[tuple]:
+        """Records as tuples in column order (for table rendering)."""
+        return [tuple(r[c] for c in self.columns) for r in self.records]
+
+    def sum(self, name: str) -> float:
+        """Sum of a numeric column (0.0 when empty)."""
+        return float(sum(self.column(name))) if self.records else 0.0
+
+    def mean(self, name: str) -> float:
+        """Mean of a numeric column (0.0 when empty)."""
+        values = self.column(name)
+        return float(sum(values) / len(values)) if values else 0.0
+
+    # -- rendering ---------------------------------------------------------
+
+    def format(self) -> str:
+        """Fixed-width plain-text table (benchmark house style)."""
+        from repro.analysis.reporting import format_table
+
+        return format_table(list(self.columns), self.rows())
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON document with columns, records and metadata."""
+        return json.dumps(
+            {
+                "columns": list(self.columns),
+                "records": self.records,
+                "metadata": self.metadata,
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        table = cls(
+            columns=list(data["columns"]),
+            metadata=dict(data.get("metadata", {})),
+        )
+        table.extend(data.get("records", []))
+        return table
+
+    def to_csv(self) -> str:
+        """CSV text with a header row (metadata is not included)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows())
+        return buf.getvalue()
+
+    @classmethod
+    def from_sweep(cls, sweep) -> "ResultTable":
+        """Adapt a :class:`repro.analysis.sweep.Sweep1D` (legacy shape)."""
+        table = cls(columns=sweep.header(),
+                    metadata={"parameter": sweep.parameter})
+        for row in sweep.rows():
+            table.append(dict(zip(table.columns, row)))
+        return table

@@ -1,0 +1,296 @@
+"""Reproducible Monte-Carlo experiment driver, serial or parallel.
+
+:class:`ExperimentRunner` fans independent trials of a picklable
+``trial(spec, rng) -> dict`` function out over a ``multiprocessing``
+pool (or runs them inline for ``workers <= 1``).  Reproducibility rests
+on :class:`numpy.random.SeedSequence`: the root seed spawns one child
+sequence per trial index *before* any work is dispatched, so trial ``i``
+sees the same stream no matter which process runs it or in what order —
+the parallel path produces **bitwise-identical records** to the serial
+path for the same seed.
+
+Adaptive stopping generalises the ``min_errors`` / ``max_trials`` logic
+of :mod:`repro.analysis.ber`: a ``stop_when(records)`` predicate is
+evaluated over the *ordered* prefix of results, and the run is truncated
+at the earliest trial where it fires.  A parallel run may compute a few
+trials beyond that point (they are in flight when the budget is met) but
+discards them, keeping serial and parallel outputs identical.
+
+The module also ships the three standard trial functions (forward BER,
+feedback BER, frame delivery) as module-level picklable callables, with
+a per-process stack cache so workers build each scenario only once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments.results import ResultTable
+from repro.experiments.spec import ScenarioSpec, ScenarioStack
+from repro.utils.rng import random_bits, spawn_rngs
+from repro.utils.validation import check_positive
+
+#: Per-process cache of built stacks, keyed by the (hashable) spec.
+_STACK_CACHE: dict[ScenarioSpec, ScenarioStack] = {}
+
+
+def _stack_for(spec: ScenarioSpec) -> ScenarioStack:
+    """Build (or reuse) the simulation stack for ``spec`` in this process."""
+    stack = _STACK_CACHE.get(spec)
+    if stack is None:
+        stack = spec.build()
+        _STACK_CACHE[spec] = stack
+    return stack
+
+
+def _invoke(args) -> dict:
+    """Pool-side shim: materialise the rng and stamp the trial index."""
+    trial, spec, seed_seq, index = args
+    rng = np.random.default_rng(seed_seq)
+    record = trial(spec, rng)
+    return {"trial": index, **record}
+
+
+def error_budget(
+    min_errors: int, key: str = "errors"
+) -> Callable[[list[dict]], bool]:
+    """Stop once the summed ``key`` column reaches ``min_errors``.
+
+    The standard BER stopping rule: spend trials until enough errors
+    have been observed for a tight estimate, then move on.
+    """
+    check_positive("min_errors", min_errors)
+
+    def stop(records: list[dict]) -> bool:
+        return sum(r[key] for r in records) >= min_errors
+
+    return stop
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs independent trials of one scenario, serially or in parallel.
+
+    Attributes
+    ----------
+    trial:
+        Picklable ``trial(spec, rng) -> dict`` callable.  Records from
+        one runner must share a key set (they form one table).
+    max_trials:
+        Hard trial ceiling.
+    min_trials:
+        Floor before adaptive stopping may trigger.
+    stop_when:
+        Optional predicate over the ordered record prefix; see
+        :func:`error_budget`.
+    workers:
+        ``<= 1`` runs inline; ``N > 1`` uses an ``N``-process pool.
+    chunk_size:
+        Trials dispatched between stop-rule checks in parallel mode
+        (defaults to ``2 * workers``).
+    """
+
+    trial: Callable[[ScenarioSpec, np.random.Generator], dict]
+    max_trials: int = 100
+    min_trials: int = 1
+    stop_when: Callable[[list[dict]], bool] | None = None
+    workers: int = 1
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("max_trials", self.max_trials)
+        check_positive("min_trials", self.min_trials)
+        if self.min_trials > self.max_trials:
+            raise ValueError("min_trials must not exceed max_trials")
+
+    def run(self, spec: ScenarioSpec, seed=0) -> ResultTable:
+        """Execute up to ``max_trials`` trials of ``spec``.
+
+        ``seed`` may be an int or a :class:`numpy.random.SeedSequence`;
+        identical seeds give identical tables at any worker count.
+        """
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        # Child sequences are spawned lazily (per trial / per chunk) so a
+        # huge ceiling with an error-budget stop rule costs O(chunk)
+        # memory; incremental root.spawn() yields the same children as
+        # one up-front root.spawn(max_trials), so results are unchanged.
+        if self.workers > 1:
+            records = self._run_parallel(spec, root)
+        else:
+            records = self._run_serial(spec, root)
+        table = ResultTable(
+            metadata={
+                "scenario": spec.to_dict(),
+                "seed": _seed_repr(root),
+                "workers": max(1, self.workers),
+                "max_trials": self.max_trials,
+                "min_trials": self.min_trials,
+                "trials_run": len(records),
+                "stopped_early": len(records) < self.max_trials,
+            }
+        )
+        table.extend(records)
+        return table
+
+    def sweep(
+        self,
+        spec: ScenarioSpec,
+        parameter: str,
+        values,
+        seed=0,
+        aggregate: Callable[[ResultTable], dict] | None = None,
+    ) -> ResultTable:
+        """Run the trials at each value of one spec field.
+
+        Each sweep point gets an independently spawned seed stream and is
+        reduced to a single record by ``aggregate`` (default: the mean of
+        every numeric column except ``trial``), prefixed with the swept
+        value.
+        """
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        reduce = aggregate if aggregate is not None else _mean_aggregate
+        values = list(values)
+        table = ResultTable(
+            metadata={
+                "scenario": spec.to_dict(),
+                "parameter": parameter,
+                "seed": _seed_repr(root),
+                "workers": max(1, self.workers),
+            }
+        )
+        for value, child in zip(values, root.spawn(len(values))):
+            point = self.run(spec.replace(**{parameter: value}), seed=child)
+            table.append({parameter: value, **reduce(point)})
+        return table
+
+    # -- execution strategies ----------------------------------------------
+
+    def _run_serial(self, spec, root) -> list[dict]:
+        records: list[dict] = []
+        for index in range(self.max_trials):
+            (child,) = root.spawn(1)
+            records.append(_invoke((self.trial, spec, child, index)))
+            if self._stop_index(records) is not None:
+                break
+        return records
+
+    def _run_parallel(self, spec, root) -> list[dict]:
+        chunk = self.chunk_size or 2 * self.workers
+        check_positive("chunk_size", chunk)
+        records: list[dict] = []
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            for start in range(0, self.max_trials, chunk):
+                count = min(chunk, self.max_trials - start)
+                batch = [
+                    (self.trial, spec, child, start + offset)
+                    for offset, child in enumerate(root.spawn(count))
+                ]
+                records.extend(pool.map(_invoke, batch))
+                stop = self._stop_index(records)
+                if stop is not None:
+                    return records[:stop]
+        return records
+
+    def _stop_index(self, records: list[dict]) -> int | None:
+        """Earliest prefix length at which the stop rule fires, if any."""
+        if self.stop_when is None:
+            return None
+        for n in range(self.min_trials, len(records) + 1):
+            if self.stop_when(records[:n]):
+                return n
+        return None
+
+
+def _seed_repr(root: np.random.SeedSequence):
+    """JSON-safe representation of the root seed."""
+    entropy = root.entropy
+    if isinstance(entropy, (int, np.integer)):
+        return int(entropy)
+    return [int(e) for e in entropy]
+
+
+def _mean_aggregate(table: ResultTable) -> dict:
+    """Mean of every numeric column except the trial index."""
+    out: dict = {}
+    for name in table.columns:
+        if name == "trial":
+            continue
+        values = table.column(name)
+        if values and all(isinstance(v, (int, float)) for v in values):
+            out[name] = float(sum(values) / len(values))
+    out["trials"] = len(table)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Standard trial functions (picklable module-level callables).
+# ---------------------------------------------------------------------------
+
+#: Raw bits exchanged per BER trial (matches the historical harnesses).
+BITS_PER_TRIAL = 256
+
+
+def forward_ber_trial(spec: ScenarioSpec, rng) -> dict:
+    """One unframed A→B exchange; returns data-direction error tallies."""
+    stack = _stack_for(spec)
+    rng_ch, rng_bits, rng_run = spawn_rngs(rng, 3)
+    gains = stack.realize(rng_ch)
+    data = random_bits(rng_bits, BITS_PER_TRIAL)
+    fb = random_bits(
+        rng_bits, max(1, BITS_PER_TRIAL // spec.asymmetry_ratio)
+    )
+    decoded, _, _ = stack.link.run_raw_bits(gains, data, fb, rng=rng_run)
+    errors = int(np.count_nonzero(decoded != data))
+    return {"errors": errors, "bits": int(data.size),
+            "ber": errors / data.size}
+
+
+def feedback_ber_trial(spec: ScenarioSpec, rng) -> dict:
+    """One unframed exchange; returns feedback-direction error tallies."""
+    stack = _stack_for(spec)
+    rng_ch, rng_bits, rng_run = spawn_rngs(rng, 3)
+    gains = stack.realize(rng_ch)
+    data = random_bits(rng_bits, BITS_PER_TRIAL)
+    fb = random_bits(
+        rng_bits, max(1, BITS_PER_TRIAL // spec.asymmetry_ratio)
+    )
+    _, fb_sent, fb_decoded = stack.link.run_raw_bits(
+        gains, data, fb, rng=rng_run
+    )
+    errors = int(np.count_nonzero(fb_sent != fb_decoded))
+    bits = int(fb_sent.size)
+    return {"errors": errors, "bits": bits,
+            "ber": errors / bits if bits else 0.0}
+
+
+def frame_delivery_trial(spec: ScenarioSpec, rng) -> dict:
+    """One framed exchange (sync + decode + CRC); 1 error = lost frame."""
+    from repro.phy.framing import random_frame
+
+    stack = _stack_for(spec)
+    rng_ch, rng_frame, rng_run = spawn_rngs(rng, 3)
+    gains = stack.realize(rng_ch)
+    payload_bytes = 16
+    frame = random_frame(payload_bytes, rng_frame)
+    fb = random_bits(
+        rng_frame,
+        max(1, (payload_bytes * 8 + 64) // spec.asymmetry_ratio),
+    )
+    exchange = stack.link.run(gains, frame, fb, rng=rng_run)
+    ok = exchange.data_delivered and np.array_equal(
+        exchange.data_result.frame.payload_bits, frame.payload_bits
+    )
+    return {"errors": 0 if ok else 1, "bits": 1,
+            "delivered": 1.0 if ok else 0.0}

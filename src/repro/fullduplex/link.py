@@ -80,6 +80,32 @@ class FullDuplexExchange:
         return self.data_result.delivered
 
 
+@dataclass(frozen=True)
+class _StagedExchange:
+    """Everything both exchange flavours share for one realisation.
+
+    Attributes
+    ----------
+    pad:
+        Idle guard length in samples on each side of the transmission.
+    chips_a / chips_b:
+        Full-window switching waveforms of the two devices.
+    fb_stream:
+        Feedback pilot + payload bits actually transmitted (possibly
+        empty when the window fits no feedback bit).
+    incident_a / incident_b:
+        Complex baseband fields at each antenna (ambient + the *other*
+        side's reflection + noise).
+    """
+
+    pad: int
+    chips_a: np.ndarray
+    chips_b: np.ndarray
+    fb_stream: np.ndarray
+    incident_a: np.ndarray
+    incident_b: np.ndarray
+
+
 @dataclass
 class FullDuplexLink:
     """A ↔ B full-duplex link simulator.
@@ -106,6 +132,94 @@ class FullDuplexLink:
     device_a: str = "alice"
     device_b: str = "bob"
     idle_pad_bits: int = 4
+
+    def _stage(
+        self,
+        gains: LinkGains,
+        chip_waveform: np.ndarray,
+        feedback_bits: np.ndarray,
+        feedback_enabled: bool,
+        rng,
+    ) -> _StagedExchange:
+        """Compose both antennas' incident fields for one exchange.
+
+        Shared by :meth:`run` and :meth:`run_raw_bits`: pads the window,
+        builds both switching waveforms (A's data chips, B's pilot-
+        prefixed feedback), turns them into reflection waveforms, draws
+        the ambient block, and mixes what each side's antenna sees.
+        """
+        gen = ensure_rng(rng)
+        rng_src, rng_noise_a, rng_noise_b = spawn_rngs(gen, 3)
+        phy = self.config.phy
+        pad = self.idle_pad_bits * phy.samples_per_bit
+        num_samples = int(chip_waveform.size)
+        total = num_samples + 2 * pad
+
+        # A's switching waveform over the whole window (idle = absorbing).
+        chips_a = np.zeros(total, dtype=np.uint8)
+        chips_a[pad : pad + num_samples] = chip_waveform
+        mod_a = ReflectionModulator(states=self.states_a, samples_per_chip=1)
+        gamma_a = mod_a.reflection_waveform(chips_a)
+
+        # B's feedback switching, aligned to the frame start.  A known
+        # pilot prefix lets A resolve the feedback polarity sign.
+        fb_payload = np.asarray(feedback_bits).astype(np.uint8)
+        max_bits = num_samples // self.config.samples_per_feedback_bit
+        pilot = FEEDBACK_PILOT_BITS
+        if max_bits > pilot.size:
+            fb_stream = np.concatenate(
+                [pilot, fb_payload[: max_bits - pilot.size]]
+            )
+        else:
+            fb_stream = np.empty(0, dtype=np.uint8)
+        chips_b = np.zeros(total, dtype=np.uint8)
+        if feedback_enabled and fb_stream.size:
+            fb_wave = feedback_waveform(fb_stream, self.config)
+            chips_b[pad : pad + fb_wave.size] = fb_wave
+        mod_b = ReflectionModulator(states=self.states_b, samples_per_chip=1)
+        gamma_b = mod_b.reflection_waveform(chips_b)
+
+        ambient = self.source.samples(total, rng_src)
+        incident_b = gains.received(
+            self.device_b, ambient, {self.device_a: gamma_a}, rng=rng_noise_b
+        )
+        incident_a = gains.received(
+            self.device_a, ambient, {self.device_b: gamma_b}, rng=rng_noise_a
+        )
+        return _StagedExchange(
+            pad=pad,
+            chips_a=chips_a,
+            chips_b=chips_b,
+            fb_stream=fb_stream,
+            incident_a=incident_a,
+            incident_b=incident_b,
+        )
+
+    def _decode_feedback(
+        self, staged: _StagedExchange, feedback_enabled: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """A's feedback decode, gated by its own transmission.
+
+        Returns ``(feedback_sent, feedback_decoded)`` with the polarity
+        pilot stripped from both (empty arrays when no feedback flew).
+        """
+        phy = self.config.phy
+        pilot = FEEDBACK_PILOT_BITS
+        if not (feedback_enabled and staged.fb_stream.size):
+            empty = np.empty(0, dtype=np.uint8)
+            return empty, empty
+        rx_a = BackscatterReceiver(phy, states=self.states_a)
+        env_a = rx_a.front_end.receive_envelope(
+            staged.incident_a, staged.chips_a
+        )
+        decoded_stream = FeedbackDecoder(self.config).decode(
+            env_a,
+            num_bits=staged.fb_stream.size,
+            own_chip_waveform=staged.chips_a,
+            start_sample=staged.pad + phy.detector_delay_samples,
+            pilot_bits=pilot,
+        )
+        return staged.fb_stream[pilot.size :], decoded_stream[pilot.size :]
 
     def run(
         self,
@@ -134,45 +248,11 @@ class FullDuplexLink:
             With False, B stays silent — the half-duplex baseline used by
             the F1 benchmark's "feedback off" arm.
         """
-        gen = ensure_rng(rng)
-        rng_src, rng_noise_a, rng_noise_b = spawn_rngs(gen, 3)
         phy = self.config.phy
-        pad = self.idle_pad_bits * phy.samples_per_bit
-
         tx_a = BackscatterTransmitter(phy, states=self.states_a)
         wf = tx_a.transmit(frame)
-        total = wf.num_samples + 2 * pad
-
-        # A's switching waveform over the whole window (idle = absorbing).
-        chips_a = np.zeros(total, dtype=np.uint8)
-        chips_a[pad : pad + wf.num_samples] = wf.chip_waveform
-        mod_a = ReflectionModulator(states=self.states_a, samples_per_chip=1)
-        gamma_a = mod_a.reflection_waveform(chips_a)
-
-        # B's feedback switching, aligned to the frame start.  A known
-        # pilot prefix lets A resolve the feedback polarity sign.
-        fb_payload = np.asarray(feedback_bits).astype(np.uint8)
-        max_bits = wf.num_samples // self.config.samples_per_feedback_bit
-        pilot = FEEDBACK_PILOT_BITS
-        if max_bits > pilot.size:
-            fb_stream = np.concatenate(
-                [pilot, fb_payload[: max_bits - pilot.size]]
-            )
-        else:
-            fb_stream = np.empty(0, dtype=np.uint8)
-        chips_b = np.zeros(total, dtype=np.uint8)
-        if feedback_enabled and fb_stream.size:
-            fb_wave = feedback_waveform(fb_stream, self.config)
-            chips_b[pad : pad + fb_wave.size] = fb_wave
-        mod_b = ReflectionModulator(states=self.states_b, samples_per_chip=1)
-        gamma_b = mod_b.reflection_waveform(chips_b)
-
-        ambient = self.source.samples(total, rng_src)
-        incident_b = gains.received(
-            self.device_b, ambient, {self.device_a: gamma_a}, rng=rng_noise_b
-        )
-        incident_a = gains.received(
-            self.device_a, ambient, {self.device_b: gamma_b}, rng=rng_noise_a
+        staged = self._stage(
+            gains, wf.chip_waveform, feedback_bits, feedback_enabled, rng
         )
 
         # --- B: receive the data frame while transmitting feedback. ---
@@ -181,30 +261,22 @@ class FullDuplexLink:
             states=self.states_b,
             self_compensation=self.config.self_compensation,
         )
-        own_b = chips_b if feedback_enabled else None
-        data_result = rx_b.receive_frame(incident_b, own_chip_waveform=own_b)
+        own_b = staged.chips_b if feedback_enabled else None
+        data_result = rx_b.receive_frame(
+            staged.incident_b, own_chip_waveform=own_b
+        )
 
         # --- A: decode the feedback while transmitting the frame. ---
-        rx_a = BackscatterReceiver(phy, states=self.states_a)
-        env_a = rx_a.front_end.receive_envelope(incident_a, chips_a)
-        decoder = FeedbackDecoder(self.config)
-        if feedback_enabled and fb_stream.size:
-            decoded_stream = decoder.decode(
-                env_a,
-                num_bits=fb_stream.size,
-                own_chip_waveform=chips_a,
-                start_sample=pad + phy.detector_delay_samples,
-                pilot_bits=pilot,
-            )
-            decoded = decoded_stream[pilot.size :]
-            fb_bits = fb_stream[pilot.size :]
-        else:
-            decoded = np.empty(0, dtype=np.uint8)
-            fb_bits = np.empty(0, dtype=np.uint8)
+        fb_bits, decoded = self._decode_feedback(staged, feedback_enabled)
 
         # --- Energy harvested on both sides over the exchange. ---
-        harvested_a = rx_a.front_end.harvested_energy(incident_a, chips_a)
-        harvested_b = rx_b.front_end.harvested_energy(incident_b, chips_b)
+        rx_a = BackscatterReceiver(phy, states=self.states_a)
+        harvested_a = rx_a.front_end.harvested_energy(
+            staged.incident_a, staged.chips_a
+        )
+        harvested_b = rx_b.front_end.harvested_energy(
+            staged.incident_b, staged.chips_b
+        )
 
         from repro.phy.framing import build_frame
 
@@ -231,10 +303,7 @@ class FullDuplexLink:
         — the caller compares against its inputs.  Much faster than
         framed exchanges because there is no preamble search.
         """
-        gen = ensure_rng(rng)
-        rng_src, rng_noise_a, rng_noise_b = spawn_rngs(gen, 3)
         phy = self.config.phy
-        pad = self.idle_pad_bits * phy.samples_per_bit
 
         # A known pilot prefix resolves the backscatter polarity at both
         # receivers (under fading, "reflect" can lower the envelope).
@@ -242,35 +311,8 @@ class FullDuplexLink:
         stream = np.concatenate([DATA_PILOT_BITS, payload])
         tx_a = BackscatterTransmitter(phy, states=self.states_a)
         wf = tx_a.transmit_bits(stream)
-        total = wf.num_samples + 2 * pad
-
-        chips_a = np.zeros(total, dtype=np.uint8)
-        chips_a[pad : pad + wf.num_samples] = wf.chip_waveform
-        mod_a = ReflectionModulator(states=self.states_a, samples_per_chip=1)
-        gamma_a = mod_a.reflection_waveform(chips_a)
-
-        fb_payload = np.asarray(feedback_bits).astype(np.uint8)
-        max_bits = wf.num_samples // self.config.samples_per_feedback_bit
-        fb_pilot = FEEDBACK_PILOT_BITS
-        if max_bits > fb_pilot.size:
-            fb_stream = np.concatenate(
-                [fb_pilot, fb_payload[: max_bits - fb_pilot.size]]
-            )
-        else:
-            fb_stream = np.empty(0, dtype=np.uint8)
-        chips_b = np.zeros(total, dtype=np.uint8)
-        if feedback_enabled and fb_stream.size:
-            fb_wave = feedback_waveform(fb_stream, self.config)
-            chips_b[pad : pad + fb_wave.size] = fb_wave
-        mod_b = ReflectionModulator(states=self.states_b, samples_per_chip=1)
-        gamma_b = mod_b.reflection_waveform(chips_b)
-
-        ambient = self.source.samples(total, rng_src)
-        incident_b = gains.received(
-            self.device_b, ambient, {self.device_a: gamma_a}, rng=rng_noise_b
-        )
-        incident_a = gains.received(
-            self.device_a, ambient, {self.device_b: gamma_b}, rng=rng_noise_a
+        staged = self._stage(
+            gains, wf.chip_waveform, feedback_bits, feedback_enabled, rng
         )
 
         rx_b = BackscatterReceiver(
@@ -278,29 +320,15 @@ class FullDuplexLink:
             states=self.states_b,
             self_compensation=self.config.self_compensation,
         )
-        own_b = chips_b if feedback_enabled else None
+        own_b = staged.chips_b if feedback_enabled else None
         decoded_stream = rx_b.decode_aligned_bits(
-            incident_b,
+            staged.incident_b,
             num_bits=stream.size,
             own_chip_waveform=own_b,
-            start_sample=pad,
+            start_sample=staged.pad,
             pilot_bits=DATA_PILOT_BITS,
         )
         decoded_data = decoded_stream[DATA_PILOT_BITS.size :]
 
-        if feedback_enabled and fb_stream.size:
-            rx_a = BackscatterReceiver(phy, states=self.states_a)
-            env_a = rx_a.front_end.receive_envelope(incident_a, chips_a)
-            decoded_fb_stream = FeedbackDecoder(self.config).decode(
-                env_a,
-                num_bits=fb_stream.size,
-                own_chip_waveform=chips_a,
-                start_sample=pad + phy.detector_delay_samples,
-                pilot_bits=fb_pilot,
-            )
-            decoded_fb = decoded_fb_stream[fb_pilot.size :]
-            fb_bits = fb_stream[fb_pilot.size :]
-        else:
-            decoded_fb = np.empty(0, dtype=np.uint8)
-            fb_bits = np.empty(0, dtype=np.uint8)
+        fb_bits, decoded_fb = self._decode_feedback(staged, feedback_enabled)
         return decoded_data, fb_bits, decoded_fb

@@ -196,6 +196,17 @@ class TestSweep:
         with pytest.raises(ValueError):
             sweep.add_point(2, a=1.0)
 
+    def test_new_metric_rejected_after_first_point(self):
+        # A brand-new metric name mid-sweep would leave ragged columns.
+        sweep = Sweep1D(parameter="x")
+        sweep.add_point(1, a=1.0)
+        with pytest.raises(ValueError, match="unknown metric"):
+            sweep.add_point(2, a=1.0, b=2.0)
+        # The failed call must not have mutated the sweep.
+        assert sweep.values == [1]
+        assert sweep.column("a") == [1.0]
+        assert "b" not in sweep.columns
+
 
 class TestReporting:
     def test_format_table_alignment(self):

@@ -1,0 +1,195 @@
+"""Experiments layer: ExperimentRunner and ResultTable.
+
+The serial-vs-parallel equivalence tests are the load-bearing ones: the
+runner's contract is that worker count never changes the records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ResultTable,
+    ScenarioSpec,
+    error_budget,
+    forward_ber_trial,
+)
+
+#: A cheap operating point for sample-level trials (16 samples/chip).
+FAST_SPEC = ScenarioSpec(name="fast-test", sample_rate_hz=32_000.0,
+                         source_bandwidth_hz=20e3, distance_m=2.0)
+
+
+def _counting_trial(spec: ScenarioSpec, rng) -> dict:
+    """Module-level (hence picklable) synthetic trial."""
+    value = float(rng.normal())
+    return {"value": value, "errors": int(abs(value) > 1.0), "bits": 1}
+
+
+class TestRunnerSerial:
+    def test_runs_max_trials_without_stop_rule(self):
+        table = ExperimentRunner(trial=_counting_trial, max_trials=9).run(
+            ScenarioSpec(), seed=0
+        )
+        assert len(table) == 9
+        assert table.column("trial") == list(range(9))
+        assert table.metadata["trials_run"] == 9
+        assert not table.metadata["stopped_early"]
+
+    def test_reproducible_for_same_seed(self):
+        runner = ExperimentRunner(trial=_counting_trial, max_trials=6)
+        a = runner.run(ScenarioSpec(), seed=7)
+        b = runner.run(ScenarioSpec(), seed=7)
+        assert a.records == b.records
+
+    def test_different_seeds_differ(self):
+        runner = ExperimentRunner(trial=_counting_trial, max_trials=6)
+        a = runner.run(ScenarioSpec(), seed=1)
+        b = runner.run(ScenarioSpec(), seed=2)
+        assert a.records != b.records
+
+    def test_error_budget_stops_early(self):
+        runner = ExperimentRunner(
+            trial=_counting_trial, max_trials=200, min_trials=3,
+            stop_when=error_budget(5),
+        )
+        table = runner.run(ScenarioSpec(), seed=0)
+        assert 3 <= len(table) < 200
+        assert sum(table.column("errors")) >= 5
+        assert table.metadata["stopped_early"]
+
+    def test_huge_trial_ceiling_is_cheap(self):
+        # Seeds are spawned lazily, so a bench-style "no ceiling" value
+        # must not allocate max_trials sequences up front.
+        runner = ExperimentRunner(
+            trial=_counting_trial, max_trials=10**9, min_trials=2,
+            stop_when=error_budget(3),
+        )
+        table = runner.run(ScenarioSpec(), seed=0)
+        assert 2 <= len(table) < 100
+
+    def test_min_trials_floor_respected(self):
+        runner = ExperimentRunner(
+            trial=_counting_trial, max_trials=50, min_trials=10,
+            stop_when=lambda records: True,
+        )
+        assert len(runner.run(ScenarioSpec(), seed=0)) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(trial=_counting_trial, max_trials=0)
+        with pytest.raises(ValueError):
+            ExperimentRunner(trial=_counting_trial, max_trials=2,
+                             min_trials=5)
+
+
+class TestSerialParallelEquivalence:
+    def test_synthetic_trial_bitwise_identical(self):
+        kwargs = dict(trial=_counting_trial, max_trials=13, min_trials=2,
+                      stop_when=error_budget(4))
+        serial = ExperimentRunner(workers=1, **kwargs).run(
+            ScenarioSpec(), seed=123
+        )
+        parallel = ExperimentRunner(workers=3, **kwargs).run(
+            ScenarioSpec(), seed=123
+        )
+        assert serial.records == parallel.records
+        assert parallel.metadata["workers"] == 3
+
+    def test_link_trial_bitwise_identical(self):
+        kwargs = dict(trial=forward_ber_trial, max_trials=4)
+        serial = ExperimentRunner(workers=1, **kwargs).run(FAST_SPEC, seed=5)
+        parallel = ExperimentRunner(workers=2, **kwargs).run(FAST_SPEC, seed=5)
+        assert serial.records == parallel.records
+
+    def test_chunking_does_not_change_records(self):
+        kwargs = dict(trial=_counting_trial, max_trials=12, min_trials=2,
+                      stop_when=error_budget(4))
+        small = ExperimentRunner(workers=2, chunk_size=2, **kwargs).run(
+            ScenarioSpec(), seed=9
+        )
+        large = ExperimentRunner(workers=2, chunk_size=12, **kwargs).run(
+            ScenarioSpec(), seed=9
+        )
+        assert small.records == large.records
+
+
+class TestRunnerSweep:
+    def test_sweep_one_record_per_value(self):
+        runner = ExperimentRunner(trial=_counting_trial, max_trials=5)
+        table = runner.sweep(ScenarioSpec(), "distance_m", [0.5, 1.0, 2.0],
+                             seed=0)
+        assert table.column("distance_m") == [0.5, 1.0, 2.0]
+        assert len(table) == 3
+        assert table.metadata["parameter"] == "distance_m"
+
+    def test_sweep_custom_aggregate(self):
+        runner = ExperimentRunner(trial=_counting_trial, max_trials=4)
+        table = runner.sweep(
+            ScenarioSpec(), "distance_m", [1.0], seed=0,
+            aggregate=lambda t: {"total_errors": int(t.sum("errors"))},
+        )
+        assert table.columns == ["distance_m", "total_errors"]
+
+    def test_sweep_reproducible(self):
+        runner = ExperimentRunner(trial=_counting_trial, max_trials=4)
+        a = runner.sweep(ScenarioSpec(), "distance_m", [0.5, 1.5], seed=3)
+        b = runner.sweep(ScenarioSpec(), "distance_m", [0.5, 1.5], seed=3)
+        assert a.records == b.records
+
+
+class TestForwardBerTrial:
+    def test_record_shape(self):
+        rng = np.random.default_rng(0)
+        record = forward_ber_trial(FAST_SPEC, rng)
+        assert set(record) == {"errors", "bits", "ber"}
+        assert record["bits"] == 256
+        assert 0.0 <= record["ber"] <= 1.0
+
+
+class TestResultTable:
+    def test_append_locks_columns(self):
+        table = ResultTable()
+        table.append({"a": 1, "b": 2})
+        with pytest.raises(ValueError, match="extra"):
+            table.append({"a": 1, "b": 2, "c": 3})
+        with pytest.raises(ValueError, match="missing"):
+            table.append({"a": 1})
+
+    def test_column_and_stats(self):
+        table = ResultTable()
+        table.extend([{"x": 1.0}, {"x": 3.0}])
+        assert table.column("x") == [1.0, 3.0]
+        assert table.sum("x") == pytest.approx(4.0)
+        assert table.mean("x") == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            table.column("y")
+
+    def test_json_round_trip(self):
+        table = ResultTable(metadata={"seed": 3})
+        table.extend([{"x": 1, "y": "a"}, {"x": 2, "y": "b"}])
+        clone = ResultTable.from_json(table.to_json())
+        assert clone.columns == table.columns
+        assert clone.records == table.records
+        assert clone.metadata == table.metadata
+
+    def test_csv(self):
+        table = ResultTable()
+        table.extend([{"x": 1, "y": 2.5}])
+        lines = table.to_csv().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+
+    def test_format_renders_table(self):
+        table = ResultTable()
+        table.extend([{"x": 1, "y": 2.0}])
+        out = table.format()
+        assert out.splitlines()[0].startswith("x")
+
+    def test_from_sweep(self):
+        from repro.analysis.sweep import sweep1d
+
+        sweep = sweep1d("d", [1, 2], lambda d: {"y": d * 10})
+        table = ResultTable.from_sweep(sweep)
+        assert table.columns == ["d", "y"]
+        assert table.column("y") == [10, 20]

@@ -1,0 +1,171 @@
+"""Experiments layer: ScenarioSpec building/serialisation + registry."""
+
+import json
+
+import pytest
+
+from repro.ambient import FilteredNoiseSource, OfdmLikeSource, ToneSource
+from repro.channel import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    NoFading,
+    RayleighFading,
+    RicianFading,
+    TwoRayGroundPathLoss,
+)
+from repro.experiments import (
+    ScenarioSpec,
+    ScenarioStack,
+    get_scenario,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.experiments.registry import describe_scenarios
+
+
+class TestScenarioSpecBuild:
+    def test_build_returns_full_stack(self):
+        stack = ScenarioSpec().build()
+        assert isinstance(stack, ScenarioStack)
+        assert stack.link.config is stack.config
+        assert stack.link.source is stack.source
+        assert stack.scene.distance("alice", "bob") == pytest.approx(0.5)
+
+    def test_phy_and_fullduplex_knobs_propagate(self):
+        spec = ScenarioSpec(bit_rate_bps=2_000.0, asymmetry_ratio=32,
+                            self_compensation=False)
+        config = spec.build_config()
+        assert config.phy.bit_rate_bps == 2_000.0
+        assert config.asymmetry_ratio == 32
+        assert not config.self_compensation
+
+    @pytest.mark.parametrize("kind,cls", [
+        ("ofdm", OfdmLikeSource),
+        ("tone", ToneSource),
+        ("noise", FilteredNoiseSource),
+    ])
+    def test_source_kinds(self, kind, cls):
+        assert isinstance(
+            ScenarioSpec(source_kind=kind).build_source(), cls
+        )
+
+    @pytest.mark.parametrize("kind,cls", [
+        ("static", NoFading),
+        ("rayleigh", RayleighFading),
+        ("rician", RicianFading),
+    ])
+    def test_fading_kinds(self, kind, cls):
+        channel = ScenarioSpec(device_fading=kind).build_channel()
+        assert isinstance(channel.device_fading, cls)
+
+    @pytest.mark.parametrize("kind,cls", [
+        ("free-space", FreeSpacePathLoss),
+        ("log-distance", LogDistancePathLoss),
+        ("two-ray", TwoRayGroundPathLoss),
+    ])
+    def test_pathloss_kinds(self, kind, cls):
+        channel = ScenarioSpec(device_pathloss=kind).build_channel()
+        assert isinstance(channel.device_pathloss, cls)
+
+    def test_mac_config(self):
+        cfg = ScenarioSpec(mac_num_links=3, mac_loss_probability=0.25,
+                           bit_rate_bps=2_000.0).build_mac_config()
+        assert cfg.num_links == 3
+        assert cfg.bit_rate_bps == 2_000.0
+        assert cfg.loss.loss_probability == pytest.approx(0.25)
+
+    def test_scene_distance_override(self):
+        scene = ScenarioSpec(distance_m=0.5).build_scene(2.0)
+        assert scene.distance("alice", "bob") == pytest.approx(2.0)
+
+    def test_replace_revalidates(self):
+        spec = ScenarioSpec()
+        assert spec.replace(distance_m=1.0).distance_m == 1.0
+        with pytest.raises(ValueError):
+            spec.replace(asymmetry_ratio=7)
+
+    @pytest.mark.parametrize("field,value", [
+        ("source_kind", "laser"),
+        ("device_fading", "nakagami"),
+        ("source_pathloss", "vacuum"),
+        ("device_pathloss", "vacuum"),
+        ("distance_m", -1.0),
+        ("mac_loss_probability", 1.5),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ScenarioSpec(**{field: value})
+
+
+class TestScenarioSpecSerialisation:
+    def test_round_trip_defaults(self):
+        spec = ScenarioSpec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_modified(self):
+        spec = ScenarioSpec(
+            name="x", source_kind="tone", bit_rate_bps=500.0,
+            asymmetry_ratio=16, device_fading="rician",
+            fading_k_factor=2.0, distance_m=3.0, mac_num_links=2,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_through_json(self):
+        spec = ScenarioSpec(device_fading="rayleigh")
+        text = json.dumps(spec.to_dict())
+        assert ScenarioSpec.from_dict(json.loads(text)) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown ScenarioSpec"):
+            ScenarioSpec.from_dict({"warp_factor": 9})
+
+    def test_partial_dict_uses_defaults(self):
+        spec = ScenarioSpec.from_dict({"distance_m": 1.25})
+        assert spec.distance_m == 1.25
+        assert spec.asymmetry_ratio == 64
+
+
+class TestRegistry:
+    def test_known_presets_exist(self):
+        names = scenario_names()
+        for expected in ("calibrated-default", "near-field", "far-edge",
+                         "rayleigh-mobile", "dense-mac", "tone-source"):
+            assert expected in names
+
+    def test_all_presets_build(self):
+        for name in scenario_names():
+            stack = get_scenario(name).build()
+            assert isinstance(stack, ScenarioStack), name
+
+    def test_preset_names_match_spec_names(self):
+        for name in scenario_names():
+            assert get_scenario(name).name == name
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="calibrated-default"):
+            get_scenario("no-such-scene")
+
+    def test_get_returns_fresh_instance(self):
+        assert get_scenario("near-field") is not get_scenario("near-field")
+
+    def test_describe_covers_every_name(self):
+        rows = describe_scenarios()
+        assert [name for name, _ in rows] == scenario_names()
+        assert all(desc for _, desc in rows)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("calibrated-default", ScenarioSpec)
+
+    def test_decorator_registers_and_returns_factory(self):
+        @scenario("test-only-preset")
+        def factory() -> ScenarioSpec:
+            return ScenarioSpec(name="test-only-preset")
+
+        try:
+            assert factory() == get_scenario("test-only-preset")
+        finally:
+            from repro.experiments import registry
+
+            registry._REGISTRY.pop("test-only-preset")

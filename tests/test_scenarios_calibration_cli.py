@@ -132,3 +132,85 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "forward  BER" in out and "feedback BER" in out
+
+    def test_scenario_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated-default" in out
+        assert "rayleigh-mobile" in out
+
+    def test_scenario_show_round_trips(self, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.experiments import ScenarioSpec, get_scenario
+
+        assert main(["scenario", "show", "far-edge"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert ScenarioSpec.from_dict(data) == get_scenario("far-edge")
+
+    def test_info_accepts_scenario_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["info", "--scenario", "tone-source"]) == 0
+        assert "tone-source" in capsys.readouterr().out
+
+    def test_sweep_runs_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        out_json = tmp_path / "sweep.json"
+        code = main(["sweep", "--param", "distance_m",
+                     "--values", "0.4,0.6", "--trials", "2",
+                     "--json", str(out_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distance_m" in out
+        data = json.loads(out_json.read_text())
+        assert [r["distance_m"] for r in data["records"]] == [0.4, 0.6]
+
+    def test_sweep_rejects_unknown_parameter(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "--param", "warp_factor", "--values", "1,2"])
+
+    def test_sweep_parses_bool_parameters(self):
+        from repro.cli import _parse_sweep_values
+
+        assert _parse_sweep_values(
+            "self_compensation", "true,false"
+        ) == [True, False]
+        with pytest.raises(SystemExit):
+            _parse_sweep_values("self_compensation", "yes")
+
+    def test_unknown_scenario_is_clean_error(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["info", "--scenario", "no-such"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "calibrated-default" in err
+
+    def test_bad_knob_value_is_clean_error(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["sweep", "--param", "asymmetry_ratio", "--values", "7"])
+        assert exc_info.value.code == 2
+        assert "even integer" in capsys.readouterr().err
+
+    def test_python_dash_m_repro_entrypoint(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "scenario", "list"],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0
+        assert "calibrated-default" in result.stdout
