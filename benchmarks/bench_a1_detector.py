@@ -12,7 +12,7 @@ sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
 import numpy as np
 
-from common import make_link, save_result
+from common import make_link, run_and_emit, save_result
 
 from repro.analysis.reporting import format_table
 from repro.channel import ChannelModel, Scene
@@ -97,7 +97,9 @@ def run_a1():
 
 
 def bench_a1_detector(benchmark):
-    rows = benchmark.pedantic(run_a1, rounds=1, iterations=1)
+    rows = run_and_emit(benchmark, "a1_detector", run_a1,
+                        trials=TRIALS, scenario="calibrated-default",
+                        seed=130)
     table = format_table(
         ["detector", "mean_detect_latency_bits", "network_tx_energy_uJ",
          "abort_fraction"],

@@ -9,7 +9,7 @@ import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
-from common import make_link, save_result, scene_at
+from common import make_link, run_and_emit, save_result, scene_at
 
 from repro.analysis.ber import measure_feedback_ber, measure_forward_ber
 from repro.analysis.reporting import format_table
@@ -47,7 +47,9 @@ def run_a2():
 
 
 def bench_a2_fading(benchmark):
-    rows = benchmark.pedantic(run_a2, rounds=1, iterations=1)
+    rows = run_and_emit(benchmark, "a2_fading", run_a2,
+                        trials=120, scenario="calibrated-default",
+                        seed=140)
     table = format_table(["channel", "forward_ber", "feedback_ber"], rows)
     save_result("a2_fading", table)
 

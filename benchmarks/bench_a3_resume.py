@@ -10,7 +10,7 @@ import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
-from common import save_result
+from common import run_and_emit, save_result
 
 from repro.analysis.reporting import format_table
 from repro.mac.arq import HalfDuplexArqPolicy
@@ -45,7 +45,9 @@ def run_a3():
 
 
 def bench_a3_resume(benchmark):
-    rows = benchmark.pedantic(run_a3, rounds=1, iterations=1)
+    rows = run_and_emit(benchmark, "a3_resume", run_a3,
+                        trials=len(LOSS_RATES) * 3,
+                        scenario="mac:single-link", seed=150)
     table = format_table(
         ["loss", "policy", "delivery", "bits_sent", "nJ_per_bit",
          "latency_s"],

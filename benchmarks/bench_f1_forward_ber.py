@@ -10,7 +10,7 @@ import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
-from common import make_link, save_result, scene_at
+from common import make_link, run_and_emit, save_result, scene_at
 
 from repro.analysis.ber import measure_forward_ber
 from repro.analysis.reporting import format_table
@@ -39,7 +39,9 @@ def run_f1():
 
 
 def bench_f1_forward_ber(benchmark):
-    rows = benchmark.pedantic(run_f1, rounds=1, iterations=1)
+    rows = run_and_emit(benchmark, "f1_forward_ber", run_f1,
+                        trials=len(DISTANCES_M) * 2 * 30,
+                        scenario="calibrated-default", seed=10)
     table = format_table(
         ["distance_m", "ber_with_feedback", "ber_without_feedback",
          "errors", "bits"],

@@ -10,7 +10,7 @@ import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
-from common import make_link, save_result, scene_at
+from common import make_link, run_and_emit, save_result, scene_at
 
 from repro.analysis.ber import measure_feedback_ber, measure_forward_ber
 from repro.analysis.reporting import format_table
@@ -36,7 +36,9 @@ def run_f2():
 
 
 def bench_f2_feedback_ber(benchmark):
-    rows = benchmark.pedantic(run_f2, rounds=1, iterations=1)
+    rows = run_and_emit(benchmark, "f2_feedback_ber", run_f2,
+                        trials=len(DISTANCES_M) * (20 + 8),
+                        scenario="calibrated-default", seed=20)
     table = format_table(
         ["distance_m", "feedback_ber", "forward_ber",
          "fb_errors", "fb_bits"],

@@ -13,7 +13,7 @@ sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
 import numpy as np
 
-from common import make_link, save_result, scene_at
+from common import make_link, run_and_emit, save_result, scene_at
 
 from repro.analysis.ber import measure_forward_ber
 from repro.analysis.reporting import format_table
@@ -83,7 +83,9 @@ def run_f3():
 
 
 def bench_f3_asymmetry(benchmark):
-    rows = benchmark.pedantic(run_f3, rounds=1, iterations=1)
+    rows = run_and_emit(benchmark, "f3_asymmetry", run_f3,
+                        trials=len(RATIOS) * (4 + 10 + 5),
+                        scenario="calibrated-default", seed=31)
     table = format_table(
         ["asymmetry_r", "feedback_margin", "data_ber_uncompensated",
          "data_ber_compensated"],

@@ -9,7 +9,7 @@ import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
-from common import save_result
+from common import run_and_emit, save_result
 
 from repro.analysis.reporting import format_table
 from repro.mac.node import run_policy_comparison
@@ -40,7 +40,9 @@ def run_f4():
 
 
 def bench_f4_early_abort(benchmark):
-    rows = benchmark.pedantic(run_f4, rounds=1, iterations=1)
+    rows = run_and_emit(benchmark, "f4_early_abort", run_f4,
+                        trials=len(LINK_COUNTS) * 3,
+                        scenario="mac:congestion-sweep", seed=40)
     table = format_table(
         ["links", "hd_tx_energy_uJ", "fd_tx_energy_uJ",
          "fd_energy_savings", "fd_abort_fraction"],

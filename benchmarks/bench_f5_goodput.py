@@ -10,7 +10,7 @@ import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
-from common import save_result
+from common import run_and_emit, save_result
 
 from repro.analysis.reporting import format_table
 from repro.analysis.throughput import (
@@ -53,7 +53,9 @@ def run_f5():
 
 
 def bench_f5_goodput(benchmark):
-    rows = benchmark.pedantic(run_f5, rounds=1, iterations=1)
+    rows = run_and_emit(benchmark, "f5_goodput", run_f5,
+                        trials=len(LOSS_RATES) * 3,
+                        scenario="mac:single-link", seed=50)
     table = format_table(
         ["loss", "noarq_delivery", "hd_goodput_bps", "fd_goodput_bps",
          "hd_nJ_per_bit", "fd_nJ_per_bit", "hd_theory_nJ", "fd_theory_nJ"],

@@ -13,7 +13,7 @@ sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
 import numpy as np
 
-from common import make_link, save_result, scene_at
+from common import make_link, run_and_emit, save_result, scene_at
 
 from repro.analysis.reporting import format_table
 from repro.fullduplex.selfinterference import residual_self_interference
@@ -73,7 +73,9 @@ def run_f6():
 
 
 def bench_f6_self_interference(benchmark):
-    rows, residuals = benchmark.pedantic(run_f6, rounds=1, iterations=1)
+    rows, residuals = run_and_emit(
+        benchmark, "f6_self_interference", run_f6,
+        trials=2 * TRIALS, scenario="calibrated-default", seed=60)
     table = format_table(["variant", "data_ber", "errors", "bits"], rows)
     table += "\n\nresidual self-interference (level gap / mean envelope):\n"
     for name, value in residuals.items():

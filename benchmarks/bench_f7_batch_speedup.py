@@ -1,0 +1,89 @@
+"""F7 — Batched trial engine speedup over the scalar inner loop.
+
+Not a paper figure: this bench tracks the perf claim of the vectorized
+Monte-Carlo backend (`repro.experiments.batch`).  It runs the same
+`forward_ber` trial budget on the calibrated default scenario through
+`backend="serial"` and `backend="vectorized"` on a single process and
+asserts the batched engine is at least 5× faster while producing
+bit-identical records (the golden-equivalence suite pins the same
+contract at test scale).
+
+Regenerate the checked-in artifact with::
+
+    OMP_NUM_THREADS=1 PYTHONPATH=src:benchmarks python -m pytest \
+        benchmarks/bench_f7_batch_speedup.py -q \
+        -o python_files="bench_*.py" -o python_functions="bench_*"
+"""
+
+import sys
+import time
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+from common import emit_bench_json, save_result
+
+from repro.experiments import (
+    ExperimentRunner,
+    forward_ber_trial,
+    get_scenario,
+)
+
+TRIALS = 2000
+SEED = 7
+SCENARIO = "calibrated-default"
+REQUIRED_SPEEDUP = 5.0
+
+
+def _timed_run(backend: str, spec):
+    runner = ExperimentRunner(
+        trial=forward_ber_trial, max_trials=TRIALS, backend=backend
+    )
+    start = time.perf_counter()
+    table = runner.run(spec, seed=SEED)
+    return table, time.perf_counter() - start
+
+
+def run_f7():
+    spec = get_scenario(SCENARIO)
+    # Warm both paths first so stack/engine construction and lazy
+    # imports are excluded from the steady-state comparison.
+    for backend in ("serial", "vectorized"):
+        ExperimentRunner(
+            trial=forward_ber_trial, max_trials=2, backend=backend
+        ).run(spec, seed=SEED)
+    serial, serial_wall = _timed_run("serial", spec)
+    vectorized, vectorized_wall = _timed_run("vectorized", spec)
+    if serial.records != vectorized.records:
+        raise AssertionError(
+            "serial and vectorized records diverged at bench scale"
+        )
+    return {
+        "serial_wall_time_s": serial_wall,
+        "vectorized_wall_time_s": vectorized_wall,
+        "speedup": serial_wall / vectorized_wall,
+        "serial_trials_per_sec": TRIALS / serial_wall,
+        "vectorized_trials_per_sec": TRIALS / vectorized_wall,
+    }
+
+
+def bench_f7_batch_speedup(benchmark):
+    stats = benchmark.pedantic(run_f7, rounds=1, iterations=1)
+    lines = [f"{key:>26s}: {value:10.3f}" for key, value in stats.items()]
+    save_result("f7_batch_speedup", "\n".join(lines))
+    emit_bench_json(
+        "f7_batch_speedup",
+        # The headline wall time / throughput is the vectorized arm;
+        # the serial arm rides along for the speedup trajectory.
+        wall_time_s=stats["vectorized_wall_time_s"],
+        trials=TRIALS,
+        scenario=SCENARIO,
+        seed=SEED,
+        serial_wall_time_s=round(stats["serial_wall_time_s"], 6),
+        serial_trials_per_sec=round(stats["serial_trials_per_sec"], 3),
+        speedup=round(stats["speedup"], 3),
+    )
+    # The acceptance bar: >= 5x single-core speedup at 2000 trials.
+    assert stats["speedup"] >= REQUIRED_SPEEDUP, (
+        f"vectorized backend only {stats['speedup']:.2f}x faster "
+        f"(need >= {REQUIRED_SPEEDUP}x)"
+    )

@@ -10,7 +10,7 @@ import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
-from common import make_link, save_result, scene_at
+from common import make_link, run_and_emit, save_result, scene_at
 
 from repro.analysis.ber import measure_feedback_ber, measure_frame_delivery
 from repro.analysis.reporting import format_table
@@ -47,7 +47,9 @@ def run_t1():
 
 
 def bench_t1_link_budget(benchmark):
-    rows = benchmark.pedantic(run_t1, rounds=1, iterations=1)
+    rows = run_and_emit(benchmark, "t1_link_budget", run_t1,
+                        trials=len(RATES_BPS) * (len(DISTANCES_M) * 8 + 4),
+                        scenario="calibrated-default", seed=110)
     table = format_table(
         ["bit_rate_bps", "max_range_m_90pct", "feedback_ber_at_range"],
         rows,

@@ -11,7 +11,7 @@ sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
 import numpy as np
 
-from common import make_link, save_result, scene_at
+from common import make_link, run_and_emit, save_result, scene_at
 
 from repro.analysis.reporting import format_table
 from repro.hardware.energy import EnergyModel
@@ -59,8 +59,9 @@ def run_t2():
 
 
 def bench_t2_energy(benchmark):
-    proto_rows, harvest_rows = benchmark.pedantic(run_t2, rounds=1,
-                                                  iterations=1)
+    proto_rows, harvest_rows = run_and_emit(
+        benchmark, "t2_energy", run_t2,
+        trials=4, scenario="calibrated-default", seed=120)
     table = format_table(
         ["policy", "delivered", "tx_nJ_per_packet", "total_nJ_per_packet"],
         proto_rows,

@@ -1,10 +1,12 @@
 """Shared helpers for the benchmark suite.
 
-Every bench follows the same pattern: run the experiment once inside
-``benchmark.pedantic`` (timing is incidental — the table is the product),
-print the table/series the paper's figure would show, save it under
-``benchmarks/results/``, and assert the *shape* criterion recorded in
-EXPERIMENTS.md.
+Every bench follows the same pattern: run the experiment once through
+:func:`run_and_emit` (which wraps ``benchmark.pedantic`` and records the
+wall time), print the table/series the paper's figure would show, save
+it under ``benchmarks/results/``, and assert the *shape* criterion
+recorded in EXPERIMENTS.md.  Alongside the human-readable table, every
+bench leaves a machine-readable ``BENCH_<name>.json`` with its wall
+time, trial budget and throughput — the per-commit perf trajectory.
 
 Stacks come from the scenario registry (``"calibrated-default"`` with
 per-bench overrides), so the benches measure exactly the stack every
@@ -13,7 +15,9 @@ other consumer of the library builds.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 from repro.channel import ChannelModel, Scene
 from repro.experiments import get_scenario
@@ -27,6 +31,50 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n===== {name} =====\n{text}\n")
+
+
+def emit_bench_json(
+    name: str, *, wall_time_s: float, trials: int, scenario, seed, **extra
+) -> dict:
+    """Write ``benchmarks/results/BENCH_<name>.json`` and return it.
+
+    ``trials`` is the bench's configured Monte-Carlo budget (trial count
+    or simulator-run count — whatever unit of work the bench repeats),
+    so ``trials_per_sec`` is comparable commit to commit for the same
+    bench.  ``scenario`` and ``seed`` pin what was measured.
+    """
+    payload = {
+        "bench": name,
+        "wall_time_s": round(float(wall_time_s), 6),
+        "trials": int(trials),
+        "trials_per_sec": (
+            round(trials / wall_time_s, 3) if wall_time_s > 0 else None
+        ),
+        "scenario": scenario,
+        "seed": seed,
+        **extra,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return payload
+
+
+def run_and_emit(benchmark, name: str, fn, *, trials, scenario, seed,
+                 **extra):
+    """Run ``fn`` once under ``benchmark.pedantic`` and emit its JSON.
+
+    ``trials`` may be an int or a callable over ``fn``'s result (for
+    benches whose realised trial count is data-dependent).
+    """
+    start = time.perf_counter()
+    out = benchmark.pedantic(fn, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+    count = trials(out) if callable(trials) else trials
+    emit_bench_json(name, wall_time_s=wall, trials=count,
+                    scenario=scenario, seed=seed, **extra)
+    return out
 
 
 def make_link(

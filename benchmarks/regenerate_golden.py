@@ -1,0 +1,40 @@
+"""Regenerate the golden regression fixtures under ``tests/golden/``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/regenerate_golden.py
+
+The snapshot definition — scenarios, seed, trial kinds/counts and the
+aggregate computation — lives in ``tests/test_golden_results.py`` so the
+script and the test can never disagree about what is being frozen.  Run
+this ONLY after an *intended* change to the physics/DSP/decode chain,
+and commit the regenerated fixtures together with that change; a fixture
+diff with no explaining change is a regression, not a refresh.
+"""
+
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tests"))
+
+from test_golden_results import (  # noqa: E402
+    GOLDEN_DIR,
+    GOLDEN_SCENARIOS,
+    compute_golden,
+)
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in GOLDEN_SCENARIOS:
+        path = GOLDEN_DIR / f"{name}.json"
+        snapshot = compute_golden(name)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

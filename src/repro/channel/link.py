@@ -127,6 +127,111 @@ class LinkGains:
 
 
 @dataclass
+class BatchLinkGains:
+    """A stack of per-lane :class:`LinkGains` with batched composition.
+
+    One object per Monte-Carlo batch: lane ``i`` holds trial ``i``'s
+    block-fading realisation, drawn from trial ``i``'s own channel
+    generator, so scalar and batched runs see identical gains.
+    :meth:`received` performs the same field composition as
+    :meth:`LinkGains.received` with the lane axis broadcast in front —
+    every lane of the result is bitwise identical to the scalar call.
+
+    Attributes
+    ----------
+    lanes:
+        Per-trial gain realisations, one per batch lane.
+    """
+
+    lanes: list[LinkGains]
+
+    def __post_init__(self) -> None:
+        if not self.lanes:
+            raise ValueError("BatchLinkGains needs at least one lane")
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+    def __getitem__(self, lane: int) -> LinkGains:
+        return self.lanes[lane]
+
+    @property
+    def source_power_watt(self) -> float:
+        return self.lanes[0].source_power_watt
+
+    @property
+    def noise_power_watt(self) -> float:
+        return self.lanes[0].noise_power_watt
+
+    def gain_column(self, a: str, b: str) -> np.ndarray:
+        """The ``a → b`` gain of every lane as an ``(N, 1)`` column."""
+        return np.array(
+            [lane.gain(a, b) for lane in self.lanes], dtype=complex
+        )[:, None]
+
+    def received(
+        self,
+        device: str,
+        ambient: np.ndarray,
+        reflections: dict[str, np.ndarray] | None = None,
+        rngs=None,
+        include_noise: bool = True,
+    ) -> np.ndarray:
+        """Batched counterpart of :meth:`LinkGains.received`.
+
+        ``ambient`` and each reflection waveform are ``(N, samples)``
+        stacks; ``rngs`` supplies one noise generator per lane (each
+        consumed exactly as the scalar path consumes its noise rng).
+        """
+        x = np.asarray(ambient, dtype=complex)
+        if x.ndim != 2 or x.shape[0] != len(self.lanes):
+            raise ValueError(
+                f"ambient must be (lanes, samples) with {len(self.lanes)} "
+                f"lanes, got shape {x.shape}"
+            )
+        amp_src = np.sqrt(self.source_power_watt)
+        field_sum = self.gain_column("source", device) * x
+        if reflections:
+            for tx, gamma in reflections.items():
+                if tx == device:
+                    continue
+                g = np.asarray(gamma, dtype=float)
+                if g.shape != x.shape:
+                    raise ValueError(
+                        f"reflection waveform for {tx!r} has shape "
+                        f"{g.shape}, ambient has {x.shape}"
+                    )
+                # The dyadic amplitude is formed per lane in Python
+                # complex arithmetic, exactly as the scalar path does —
+                # CPython and numpy complex products may differ in the
+                # last ulp, and the equivalence contract is bitwise.
+                dyadic = np.array(
+                    [
+                        lane.gain("source", tx) * lane.gain(tx, device)
+                        for lane in self.lanes
+                    ],
+                    dtype=complex,
+                )[:, None]
+                field_sum = field_sum + dyadic * (g * x)
+        y = amp_src * field_sum
+        if include_noise and self.noise_power_watt > 0:
+            if rngs is None:
+                raise ValueError("batched noise needs one rng per lane")
+            rngs = list(rngs)
+            if len(rngs) != len(self.lanes):
+                raise ValueError(
+                    f"need {len(self.lanes)} noise rngs, got {len(rngs)}"
+                )
+            noise = np.empty_like(y)
+            for lane, rng in enumerate(rngs):
+                noise[lane] = complex_awgn(
+                    x.shape[1], self.noise_power_watt, rng
+                )
+            y = y + noise
+        return y
+
+
+@dataclass
 class ChannelModel:
     """Scene → per-trial :class:`LinkGains` factory.
 
@@ -162,6 +267,15 @@ class ChannelModel:
     def __post_init__(self) -> None:
         check_positive("source_power_watt", self.source_power_watt)
         check_non_negative("noise_power_watt", self.noise_power_watt)
+
+    def realize_batch(self, scene: Scene, rngs) -> BatchLinkGains:
+        """One :meth:`realize` draw per generator, stacked for batching.
+
+        Lane ``i`` consumes ``rngs[i]`` exactly as a scalar
+        :meth:`realize` call would, so batched trials see the same
+        channel realisations as their scalar counterparts.
+        """
+        return BatchLinkGains(lanes=[self.realize(scene, r) for r in rngs])
 
     def realize(self, scene: Scene, rng=None) -> LinkGains:
         """Draw one block's gains for every path in ``scene``.

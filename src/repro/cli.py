@@ -86,14 +86,17 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def _ber_aggregate(table) -> dict:
-    """Collapse per-trial error tallies into one rate record."""
+    """Collapse per-trial error tallies into one rate record.
+
+    The sweep driver stamps ``n_trials`` onto each point itself, so the
+    aggregate only reports the error statistics.
+    """
     errors = int(table.sum("errors"))
     bits = int(table.sum("bits"))
     return {
         "errors": errors,
         "bits": bits,
         "rate": errors / bits if bits else 0.0,
-        "trials": len(table),
     }
 
 
@@ -115,6 +118,7 @@ def cmd_ber(args: argparse.Namespace) -> int:
                 trial=trial, max_trials=args.trials,
                 min_trials=min(5, args.trials),
                 stop_when=error_budget(20), workers=args.workers,
+                backend=args.backend,
             )
         except ValueError as exc:
             raise _cli_error(exc) from None
@@ -238,13 +242,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             trial=trial, max_trials=args.trials,
             min_trials=min(5, args.trials),
             stop_when=error_budget(args.min_errors), workers=args.workers,
+            backend=args.backend,
         )
     except ValueError as exc:
         raise _cli_error(exc) from None
     table = runner.sweep(spec, args.param, values, seed=args.seed,
                          aggregate=_ber_aggregate)
     print(f"scenario {spec.name}: {args.metric} vs {args.param} "
-          f"({args.trials} trials/point, {max(1, args.workers)} workers)")
+          f"({args.trials} trials/point, "
+          f"{runner.resolved_backend()} backend)")
     print(table.format())
     if args.json:
         pathlib.Path(args.json).write_text(table.to_json() + "\n")
@@ -275,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="data rate [bit/s] (overrides the scenario)")
     p_info.set_defaults(func=cmd_info)
 
+    def add_backend_flag(p):
+        p.add_argument("--backend",
+                       choices=["serial", "parallel", "vectorized"],
+                       default=None,
+                       help="trial execution backend (default: serial, "
+                            "or parallel when --workers > 1)")
+
     p_ber = sub.add_parser("ber", help="BER at one distance")
     add_scenario_flag(p_ber)
     p_ber.add_argument("--distance", type=float, default=None,
@@ -283,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ber.add_argument("--trials", type=int, default=15)
     p_ber.add_argument("--workers", type=int, default=1,
                        help="parallel trial processes (default serial)")
+    add_backend_flag(p_ber)
     p_ber.set_defaults(func=cmd_ber)
 
     p_mac = sub.add_parser("mac", help="protocol comparison")
@@ -316,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="error budget for early stopping")
     p_sweep.add_argument("--workers", type=int, default=1,
                          help="parallel trial processes (default serial)")
+    add_backend_flag(p_sweep)
     p_sweep.add_argument("--json", default=None,
                          help="also write the table as JSON to this path")
     p_sweep.add_argument("--csv", default=None,

@@ -10,6 +10,12 @@ The backscatter receiver's analog chain is modelled with two filters:
 Both are causal, run in O(n), and are exact (no FFT edge effects), which
 matters because the adaptive-threshold behaviour at *packet edges* is part
 of what the full-duplex design relies on.
+
+Every filter accepts either one waveform (1-D) or a batch of waveforms
+(2-D, one per row) and applies along the last axis.  The batched result
+is **bitwise identical** to filtering each row separately — the batched
+trial engine (:mod:`repro.experiments.batch`) relies on this for its
+scalar-equivalence guarantee.
 """
 
 from __future__ import annotations
@@ -29,24 +35,26 @@ def moving_average(x: np.ndarray, window: int) -> np.ndarray:
     Parameters
     ----------
     x:
-        Real input samples.
+        Real input samples: one waveform (1-D) or a batch of waveforms
+        (2-D, averaged along the last axis).
     window:
         Averaging length in samples (``>= 1``).
     """
     check_positive("window", window)
     arr = np.asarray(x, dtype=float)
-    if arr.ndim != 1:
-        raise ValueError("moving_average expects a 1-D array")
+    if arr.ndim not in (1, 2):
+        raise ValueError("moving_average expects a 1-D or 2-D array")
     if arr.size == 0:
         return arr.copy()
-    csum = np.cumsum(arr)
+    csum = np.cumsum(arr, axis=-1)
     out = np.empty_like(arr)
     w = int(window)
-    if arr.size <= w:
-        out[:] = csum / np.arange(1, arr.size + 1)
+    n = arr.shape[-1]
+    if n <= w:
+        out[...] = csum / np.arange(1, n + 1)
         return out
-    out[:w] = csum[:w] / np.arange(1, w + 1)
-    out[w:] = (csum[w:] - csum[:-w]) / w
+    out[..., :w] = csum[..., :w] / np.arange(1, w + 1)
+    out[..., w:] = (csum[..., w:] - csum[..., :-w]) / w
     return out
 
 
@@ -60,18 +68,19 @@ def single_pole_lowpass(x: np.ndarray, alpha: float) -> np.ndarray:
     if not 0.0 < alpha <= 1.0:
         raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
     arr = np.asarray(x, dtype=float)
-    if arr.ndim != 1:
-        raise ValueError("single_pole_lowpass expects a 1-D array")
+    if arr.ndim not in (1, 2):
+        raise ValueError("single_pole_lowpass expects a 1-D or 2-D array")
     if arr.size == 0 or alpha == 1.0:
         return arr.copy()
     # Evaluate the recursion y[n] = (1-alpha) y[n-1] + alpha x[n] with
     # scipy's direct-form filter; the initial state pre-charges the
     # integrator to x[0] so y[0] == x[0] (capacitor starts at the first
-    # sample rather than at zero).
+    # sample rather than at zero).  A 2-D batch filters each row along
+    # the last axis with its own initial state.
     from scipy.signal import lfilter
 
-    zi = np.array([(1.0 - alpha) * arr[0]])
-    out, _ = lfilter([alpha], [1.0, -(1.0 - alpha)], arr, zi=zi)
+    zi = (1.0 - alpha) * arr[..., :1]
+    out, _ = lfilter([alpha], [1.0, -(1.0 - alpha)], arr, axis=-1, zi=zi)
     return out
 
 
@@ -90,16 +99,18 @@ def integrate_and_dump(x: np.ndarray, period: int) -> np.ndarray:
 
     The classic matched filter for rectangular OOK chips: one output per
     chip.  Trailing samples that do not fill a block are discarded.
+    A 2-D batch integrates each row along the last axis.
     """
     check_positive("period", period)
     arr = np.asarray(x, dtype=float)
-    if arr.ndim != 1:
-        raise ValueError("integrate_and_dump expects a 1-D array")
+    if arr.ndim not in (1, 2):
+        raise ValueError("integrate_and_dump expects a 1-D or 2-D array")
     p = int(period)
-    nblocks = arr.size // p
+    nblocks = arr.shape[-1] // p
     if nblocks == 0:
-        return np.empty(0, dtype=float)
-    return arr[: nblocks * p].reshape(nblocks, p).mean(axis=1)
+        return np.empty(arr.shape[:-1] + (0,), dtype=float)
+    blocks = arr[..., : nblocks * p].reshape(arr.shape[:-1] + (nblocks, p))
+    return blocks.mean(axis=-1)
 
 
 def decimate_mean(x: np.ndarray, factor: int) -> np.ndarray:

@@ -13,8 +13,11 @@ package owns both halves:
 * :mod:`repro.experiments.registry` — named presets (``"calibrated-
   default"``, ``"rayleigh-mobile"``, …) registered via decorator;
 * :mod:`repro.experiments.runner` — :class:`ExperimentRunner`, a
-  reproducible serial/parallel Monte-Carlo trial driver with adaptive
-  stopping;
+  reproducible Monte-Carlo trial driver (serial, parallel or
+  vectorized) with adaptive stopping;
+* :mod:`repro.experiments.batch` — the vectorized backend: batched
+  trial implementations that run whole seed chunks as stacked numpy
+  arrays, bit-for-bit equal to the scalar path;
 * :mod:`repro.experiments.results` — :class:`ResultTable`, the records
   + metadata container every runner returns.
 
@@ -38,6 +41,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.results import ResultTable
 from repro.experiments.runner import (
+    BACKENDS,
     ExperimentRunner,
     error_budget,
     feedback_ber_trial,
@@ -46,16 +50,36 @@ from repro.experiments.runner import (
 )
 from repro.experiments.spec import ScenarioSpec, ScenarioStack
 
+#: Re-exported lazily: repro.experiments.batch pulls in the full
+#: sample-level stack, which consumers that never run the vectorized
+#: backend (CLI startup, synthetic-trial runs, pool workers) should not
+#: pay to import.
+_LAZY_BATCH_EXPORTS = ("batched_trial_for", "register_batched_trial")
+
+
+def __getattr__(name):
+    if name in _LAZY_BATCH_EXPORTS:
+        from repro.experiments import batch
+
+        return getattr(batch, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
+    "BACKENDS",
     "ExperimentRunner",
     "ResultTable",
     "ScenarioSpec",
     "ScenarioStack",
+    "batched_trial_for",
     "error_budget",
     "feedback_ber_trial",
     "forward_ber_trial",
     "frame_delivery_trial",
     "get_scenario",
+    "register_batched_trial",
     "register_scenario",
     "scenario",
     "scenario_names",

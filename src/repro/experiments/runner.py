@@ -1,13 +1,16 @@
-"""Reproducible Monte-Carlo experiment driver, serial or parallel.
+"""Reproducible Monte-Carlo experiment driver: serial, parallel or vectorized.
 
-:class:`ExperimentRunner` fans independent trials of a picklable
-``trial(spec, rng) -> dict`` function out over a ``multiprocessing``
-pool (or runs them inline for ``workers <= 1``).  Reproducibility rests
-on :class:`numpy.random.SeedSequence`: the root seed spawns one child
+:class:`ExperimentRunner` executes independent trials of a picklable
+``trial(spec, rng) -> dict`` function with one of three backends:
+``"serial"`` runs trials inline, ``"parallel"`` fans them out over a
+``multiprocessing`` pool, and ``"vectorized"`` hands whole chunks of
+trial seeds to a batched implementation that runs them as stacked numpy
+arrays (:mod:`repro.experiments.batch`).  Reproducibility rests on
+:class:`numpy.random.SeedSequence`: the root seed spawns one child
 sequence per trial index *before* any work is dispatched, so trial ``i``
-sees the same stream no matter which process runs it or in what order —
-the parallel path produces **bitwise-identical records** to the serial
-path for the same seed.
+sees the same stream no matter which process — or which batch lane —
+runs it.  All three backends produce **bitwise-identical records** for
+the same seed.
 
 Adaptive stopping generalises the ``min_errors`` / ``max_trials`` logic
 of :mod:`repro.analysis.ber`: a ``stop_when(records)`` predicate is
@@ -71,9 +74,18 @@ def error_budget(
     return stop
 
 
+#: Recognised execution backends.
+BACKENDS = ("serial", "parallel", "vectorized")
+
+#: Lanes per batch when ``backend="vectorized"`` and no chunk size is
+#: given — bounds peak memory (each lane stages full sample-rate
+#: waveforms) while amortising per-batch setup.
+DEFAULT_VECTORIZED_CHUNK = 64
+
+
 @dataclass
 class ExperimentRunner:
-    """Runs independent trials of one scenario, serially or in parallel.
+    """Runs independent trials of one scenario on a chosen backend.
 
     Attributes
     ----------
@@ -88,10 +100,18 @@ class ExperimentRunner:
         Optional predicate over the ordered record prefix; see
         :func:`error_budget`.
     workers:
-        ``<= 1`` runs inline; ``N > 1`` uses an ``N``-process pool.
+        ``<= 1`` runs inline; ``N > 1`` uses an ``N``-process pool
+        (ignored by the vectorized backend, which is single-process).
     chunk_size:
-        Trials dispatched between stop-rule checks in parallel mode
-        (defaults to ``2 * workers``).
+        Trials dispatched between stop-rule checks in parallel and
+        vectorized modes (defaults: ``2 * workers`` parallel,
+        ``DEFAULT_VECTORIZED_CHUNK`` vectorized).
+    backend:
+        ``"serial"``, ``"parallel"`` or ``"vectorized"``; ``None``
+        (default) infers serial/parallel from ``workers``, preserving
+        the historical constructor.  ``"vectorized"`` requires the
+        trial to have a batched implementation registered in
+        :mod:`repro.experiments.batch` (the three standard trials do).
     """
 
     trial: Callable[[ScenarioSpec, np.random.Generator], dict]
@@ -100,12 +120,24 @@ class ExperimentRunner:
     stop_when: Callable[[list[dict]], bool] | None = None
     workers: int = 1
     chunk_size: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         check_positive("max_trials", self.max_trials)
         check_positive("min_trials", self.min_trials)
         if self.min_trials > self.max_trials:
             raise ValueError("min_trials must not exceed max_trials")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {sorted(BACKENDS)}"
+            )
+
+    def resolved_backend(self) -> str:
+        """The backend this runner executes on."""
+        if self.backend is not None:
+            return self.backend
+        return "parallel" if self.workers > 1 else "serial"
 
     def run(self, spec: ScenarioSpec, seed=0) -> ResultTable:
         """Execute up to ``max_trials`` trials of ``spec``.
@@ -122,7 +154,10 @@ class ExperimentRunner:
         # huge ceiling with an error-budget stop rule costs O(chunk)
         # memory; incremental root.spawn() yields the same children as
         # one up-front root.spawn(max_trials), so results are unchanged.
-        if self.workers > 1:
+        backend = self.resolved_backend()
+        if backend == "vectorized":
+            records = self._run_vectorized(spec, root)
+        elif backend == "parallel":
             records = self._run_parallel(spec, root)
         else:
             records = self._run_serial(spec, root)
@@ -130,6 +165,7 @@ class ExperimentRunner:
             metadata={
                 "scenario": spec.to_dict(),
                 "seed": _seed_repr(root),
+                "backend": backend,
                 "workers": max(1, self.workers),
                 "max_trials": self.max_trials,
                 "min_trials": self.min_trials,
@@ -167,12 +203,23 @@ class ExperimentRunner:
                 "scenario": spec.to_dict(),
                 "parameter": parameter,
                 "seed": _seed_repr(root),
+                "backend": self.resolved_backend(),
                 "workers": max(1, self.workers),
             }
         )
+        point_trials: list[int] = []
         for value, child in zip(values, root.spawn(len(values))):
             point = self.run(spec.replace(**{parameter: value}), seed=child)
-            table.append({parameter: value, **reduce(point)})
+            record = {parameter: value, **reduce(point)}
+            # Every sweep point carries its realised trial count: an
+            # error-budget stop may truncate one point far below the
+            # ceiling, and an aggregate computed over a short record
+            # list must be visible as such, not silently comparable to
+            # its fully-sampled neighbours.
+            record.setdefault("n_trials", len(point))
+            point_trials.append(len(point))
+            table.append(record)
+        table.metadata["point_trials"] = point_trials
         return table
 
     # -- execution strategies ----------------------------------------------
@@ -203,6 +250,34 @@ class ExperimentRunner:
                     return records[:stop]
         return records
 
+    def _run_vectorized(self, spec, root) -> list[dict]:
+        # Imported lazily: batch pulls in the full sample-level stack,
+        # which serial/parallel runs of synthetic trials never need.
+        from repro.experiments.batch import batched_trial_for
+
+        batch_trial = batched_trial_for(self.trial)
+        chunk = self.chunk_size or min(
+            self.max_trials, DEFAULT_VECTORIZED_CHUNK
+        )
+        check_positive("chunk_size", chunk)
+        records: list[dict] = []
+        for start in range(0, self.max_trials, chunk):
+            count = min(chunk, self.max_trials - start)
+            batch = batch_trial(spec, root.spawn(count))
+            if len(batch) != count:
+                raise ValueError(
+                    f"batched trial returned {len(batch)} records for "
+                    f"{count} seeds"
+                )
+            records.extend(
+                {"trial": start + offset, **record}
+                for offset, record in enumerate(batch)
+            )
+            stop = self._stop_index(records)
+            if stop is not None:
+                return records[:stop]
+        return records
+
     def _stop_index(self, records: list[dict]) -> int | None:
         """Earliest prefix length at which the stop rule fires, if any."""
         if self.stop_when is None:
@@ -222,7 +297,13 @@ def _seed_repr(root: np.random.SeedSequence):
 
 
 def _mean_aggregate(table: ResultTable) -> dict:
-    """Mean of every numeric column except the trial index."""
+    """Mean of every numeric column except the trial index.
+
+    The realised trial count is *not* part of the aggregate:
+    :meth:`ExperimentRunner.sweep` stamps ``n_trials`` onto every sweep
+    record itself, so custom aggregates cannot hide an early-stopped
+    point.
+    """
     out: dict = {}
     for name in table.columns:
         if name == "trial":
@@ -230,7 +311,6 @@ def _mean_aggregate(table: ResultTable) -> dict:
         values = table.column(name)
         if values and all(isinstance(v, (int, float)) for v in values):
             out[name] = float(sum(values) / len(values))
-    out["trials"] = len(table)
     return out
 
 

@@ -1,0 +1,307 @@
+"""Batched full-duplex exchanges: N independent trials as stacked arrays.
+
+:class:`BatchFullDuplexEngine` is the sample-level core of the
+vectorized trial backend (:mod:`repro.experiments.batch`).  It stages N
+independent exchanges of one :class:`~repro.fullduplex.link.FullDuplexLink`
+as ``(N, samples)`` tensors — batched ambient synthesis, batched channel
+composition, batched envelope detection/compensation and batched
+soft-decision decoding — while drawing every random quantity from the
+*same per-lane generators, in the same order,* as the scalar
+:meth:`FullDuplexLink.run_raw_bits` / :meth:`FullDuplexLink.run` path.
+
+The resulting per-lane outputs are **bitwise identical** to running the
+scalar link once per lane (asserted by ``tests/test_batch_equivalence.py``).
+Two deliberate asymmetries with the scalar code keep the engine honest
+rather than clever:
+
+* randomness is never batched across lanes — lane ``i``'s generators are
+  spawned from trial ``i``'s seed exactly as the scalar path spawns
+  them, so only the deterministic DSP is vectorized;
+* a side of the exchange that the caller does not ask for (``need_a`` /
+  ``need_b``) is skipped entirely, which is safe because each side's
+  noise draws come from a dedicated child generator and the decodes are
+  deterministic given the staged fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.link import BatchLinkGains
+from repro.dsp.envelope import square_law_detector
+from repro.dsp.filters import (
+    alpha_for_time_constant,
+    integrate_and_dump,
+    single_pole_lowpass,
+)
+from repro.fullduplex.feedback import _masked_mean
+from repro.fullduplex.link import FEEDBACK_PILOT_BITS, FullDuplexLink
+from repro.phy import coding as lc
+from repro.phy.softdecode import resolve_polarity_batch, soft_decode_bits_batch
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class BatchStagedExchange:
+    """Batched counterpart of ``FullDuplexLink._StagedExchange``.
+
+    Attributes
+    ----------
+    pad:
+        Idle guard length in samples on each side of the transmission.
+    chips_a / chips_b:
+        ``(N, total)`` switching waveforms of the two devices.
+    fb_stream:
+        ``(N, bits)`` feedback pilot + payload actually transmitted
+        (zero columns when the window fits no feedback bit).
+    incident_a / incident_b:
+        ``(N, total)`` complex fields at each antenna, or ``None`` when
+        that side was not requested.
+    """
+
+    pad: int
+    chips_a: np.ndarray
+    chips_b: np.ndarray
+    fb_stream: np.ndarray
+    incident_a: np.ndarray | None
+    incident_b: np.ndarray | None
+
+
+def feedback_waveform_batch(bits: np.ndarray, config) -> np.ndarray:
+    """``(N, bits)`` feedback bits → ``(N, samples)`` switching waveforms.
+
+    Row-for-row identical to
+    :func:`repro.fullduplex.feedback.feedback_waveform`: the feedback
+    line code *is* Manchester at the feedback half-bit scale (bit 1 →
+    reflect-then-absorb), so the chips come from the one module that
+    owns that rule.
+    """
+    chips = lc.encode_batch(bits, "manchester")
+    return np.repeat(chips, config.samples_per_feedback_half, axis=1)
+
+
+@dataclass
+class BatchFullDuplexEngine:
+    """Vectorized executor for one link's independent exchanges.
+
+    Attributes
+    ----------
+    link:
+        The scalar link whose behaviour is reproduced lane by lane
+        (config, ambient source, impedance states, device names, pad).
+    """
+
+    link: FullDuplexLink
+
+    # -- staging -----------------------------------------------------------
+
+    def stage(
+        self,
+        gains: BatchLinkGains,
+        chip_waveforms: np.ndarray,
+        feedback_bits: np.ndarray,
+        feedback_enabled: bool,
+        rngs,
+        need_a: bool = True,
+        need_b: bool = True,
+    ) -> BatchStagedExchange:
+        """Compose both antennas' incident fields for N exchanges.
+
+        Mirrors ``FullDuplexLink._stage``: per lane, ``rngs[i]`` is
+        normalised and split into (source, noise-A, noise-B) children in
+        the scalar order, then synthesis and composition run batched.
+        """
+        link = self.link
+        rng_src, rng_noise_a, rng_noise_b = [], [], []
+        for rng in rngs:
+            gen = ensure_rng(rng)
+            src, noise_a, noise_b = spawn_rngs(gen, 3)
+            rng_src.append(src)
+            rng_noise_a.append(noise_a)
+            rng_noise_b.append(noise_b)
+
+        waves = np.asarray(chip_waveforms)
+        if waves.ndim != 2:
+            raise ValueError("chip_waveforms must be (lanes, samples)")
+        lanes, num_samples = waves.shape
+        config = link.config
+        phy = config.phy
+        pad = link.idle_pad_bits * phy.samples_per_bit
+        total = num_samples + 2 * pad
+
+        chips_a = np.zeros((lanes, total), dtype=np.uint8)
+        chips_a[:, pad : pad + num_samples] = waves
+        # A's reflection waveform is only consumed composing B's
+        # incident field (and vice versa); skip the (lanes, total)
+        # allocation when that side is not requested.
+        gamma_a = (
+            np.where(
+                chips_a > 0,
+                link.states_a.gamma_for(1),
+                link.states_a.gamma_for(0),
+            ).astype(float)
+            if need_b
+            else None
+        )
+
+        fb_payload = np.asarray(feedback_bits).astype(np.uint8)
+        max_bits = num_samples // config.samples_per_feedback_bit
+        pilot = FEEDBACK_PILOT_BITS
+        if max_bits > pilot.size:
+            keep = min(fb_payload.shape[1], max_bits - pilot.size)
+            fb_stream = np.concatenate(
+                [np.tile(pilot, (lanes, 1)), fb_payload[:, :keep]], axis=1
+            )
+        else:
+            fb_stream = np.empty((lanes, 0), dtype=np.uint8)
+        chips_b = np.zeros((lanes, total), dtype=np.uint8)
+        if feedback_enabled and fb_stream.shape[1]:
+            fb_wave = feedback_waveform_batch(fb_stream, config)
+            chips_b[:, pad : pad + fb_wave.shape[1]] = fb_wave
+        gamma_b = (
+            np.where(
+                chips_b > 0,
+                link.states_b.gamma_for(1),
+                link.states_b.gamma_for(0),
+            ).astype(float)
+            if need_a
+            else None
+        )
+
+        ambient = link.source.batch_samples(total, rng_src)
+        incident_b = (
+            gains.received(
+                link.device_b, ambient, {link.device_a: gamma_a},
+                rngs=rng_noise_b,
+            )
+            if need_b
+            else None
+        )
+        incident_a = (
+            gains.received(
+                link.device_a, ambient, {link.device_b: gamma_b},
+                rngs=rng_noise_a,
+            )
+            if need_a
+            else None
+        )
+        return BatchStagedExchange(
+            pad=pad,
+            chips_a=chips_a,
+            chips_b=chips_b,
+            fb_stream=fb_stream,
+            incident_a=incident_a,
+            incident_b=incident_b,
+        )
+
+    # -- receive-side batched DSP ------------------------------------------
+
+    def _gated_envelope(
+        self, incident: np.ndarray, own_chips: np.ndarray | None, states
+    ) -> np.ndarray:
+        """Batched ``TagFrontEnd.receive_envelope``: self-reception gating
+        by the device's own switching state, then the smoothed detector."""
+        phy = self.link.config.phy
+        x = np.asarray(incident, dtype=complex)
+        if own_chips is not None:
+            through = np.where(
+                own_chips > 0, states.through_for(1), states.through_for(0)
+            )
+            x = x * through
+        return 1.0 * square_law_detector(
+            x, phy.sample_rate_hz, phy.smoothing_tau_s
+        )
+
+    def data_envelope(
+        self, staged: BatchStagedExchange, feedback_enabled: bool
+    ) -> np.ndarray:
+        """B's detector output: gating by its own feedback transmission
+        plus the known-state digital compensation when configured —
+        batched ``BackscatterReceiver.envelope``."""
+        config = self.link.config
+        phy = config.phy
+        own = staged.chips_b if feedback_enabled else None
+        env = self._gated_envelope(
+            staged.incident_b, own, self.link.states_b
+        )
+        if own is not None and config.self_compensation:
+            alpha = alpha_for_time_constant(
+                phy.smoothing_tau_s, phy.sample_rate_hz
+            )
+            through_power = np.where(
+                own > 0,
+                self.link.states_b.through_for(1) ** 2,
+                self.link.states_b.through_for(0) ** 2,
+            )
+            env = env / single_pole_lowpass(through_power, alpha)
+        return env
+
+    def decode_aligned_bits(
+        self,
+        staged: BatchStagedExchange,
+        num_bits: int,
+        pilot_bits: np.ndarray,
+        feedback_enabled: bool,
+    ) -> np.ndarray:
+        """Batched ``BackscatterReceiver.decode_aligned_bits`` for the
+        raw-bit harness: known alignment, per-lane pilot polarity."""
+        config = self.link.config
+        phy = config.phy
+        env = self.data_envelope(staged, feedback_enabled)
+        start = staged.pad + phy.detector_delay_samples
+        count = num_bits * phy.chips_per_bit
+        segment = env[:, start : start + count * phy.samples_per_chip]
+        if segment.shape[1] < count * phy.samples_per_chip:
+            raise ValueError(
+                "incident waveform too short for the requested bit count"
+            )
+        soft = integrate_and_dump(segment, phy.samples_per_chip)
+        polarity = resolve_polarity_batch(soft, pilot_bits, config.phy)
+        return soft_decode_bits_batch(soft, config.phy, polarity)
+
+    def decode_feedback(
+        self, staged: BatchStagedExchange, feedback_enabled: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """A's feedback decode, batched ``FullDuplexLink._decode_feedback``.
+
+        Returns ``(feedback_sent, feedback_decoded)`` as ``(N, bits)``
+        arrays with the polarity pilot stripped (zero columns when no
+        feedback flew).  The gated half-bit means are reduced lane by
+        lane: the gating mask depends on each lane's own data chips, and
+        the scalar decoder's masked mean must be reproduced exactly.
+        """
+        config = self.link.config
+        phy = config.phy
+        pilot = FEEDBACK_PILOT_BITS
+        lanes = staged.chips_a.shape[0]
+        num_bits = staged.fb_stream.shape[1]
+        if not (feedback_enabled and num_bits):
+            empty = np.empty((lanes, 0), dtype=np.uint8)
+            return empty, empty
+        env = self._gated_envelope(
+            staged.incident_a, staged.chips_a, self.link.states_a
+        )
+        start = staged.pad + phy.detector_delay_samples
+        half = config.samples_per_feedback_half
+        if config.feedback_decode == "gated":
+            mask = staged.chips_a == 0
+        else:
+            mask = np.ones(staged.chips_a.shape, dtype=bool)
+        firsts = np.empty((lanes, num_bits), dtype=float)
+        seconds = np.empty((lanes, num_bits), dtype=float)
+        for i in range(num_bits):
+            h1 = slice(start + i * 2 * half, start + i * 2 * half + half)
+            h2 = slice(h1.stop, h1.stop + half)
+            for lane in range(lanes):
+                firsts[lane, i] = _masked_mean(env[lane, h1], mask[lane, h1])
+                seconds[lane, i] = _masked_mean(env[lane, h2], mask[lane, h2])
+        positive = (firsts > seconds).astype(np.uint8)
+        margins = (firsts - seconds)[:, : pilot.size]
+        signs = pilot.astype(float) * 2.0 - 1.0
+        decoded = positive.copy()
+        for lane in range(lanes):
+            if float(np.dot(margins[lane], signs)) < 0:
+                decoded[lane] = 1 - positive[lane]
+        return staged.fb_stream[:, pilot.size :], decoded[:, pilot.size :]

@@ -112,6 +112,49 @@ def encode(bits, coding: str) -> np.ndarray:
     return _ENCODERS[coding](bits)
 
 
+def _as_bits_2d(bits) -> np.ndarray:
+    arr = np.asarray(bits)
+    if arr.ndim != 2:
+        raise ValueError("bits must be a 2-D (batch, bits) array")
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bits must contain only 0 and 1")
+    return arr.astype(np.uint8)
+
+
+def encode_batch(bits, coding: str, initial_level: int = 1) -> np.ndarray:
+    """Encode a ``(batch, bits)`` array into ``(batch, chips)`` chips.
+
+    Row ``i`` of the output equals ``encode(bits[i], coding)`` exactly —
+    the batched trial engine's lane-equivalence guarantee rests on this.
+    The FM0 scan is closed-form here: the line level before chip ``2i``
+    has flipped once per bit boundary plus once per earlier data 0, so a
+    cumulative count of zero-bits replaces the per-bit loop.
+    """
+    b = _as_bits_2d(bits)
+    n = b.shape[1]
+    if coding == "nrz":
+        return b.copy()
+    chips = np.empty((b.shape[0], 2 * n), dtype=np.uint8)
+    if coding == "manchester":
+        chips[:, 0::2] = b
+        chips[:, 1::2] = 1 - b
+        return chips
+    if coding == "fm0":
+        if initial_level not in (0, 1):
+            raise ValueError("initial_level must be 0 or 1")
+        zeros_before = np.zeros((b.shape[0], n), dtype=np.int64)
+        if n > 1:
+            zeros_before[:, 1:] = np.cumsum(b[:, :-1] == 0, axis=1)
+        index = np.arange(1, n + 1)
+        first = (initial_level + index + zeros_before) & 1
+        chips[:, 0::2] = first.astype(np.uint8)
+        chips[:, 1::2] = (first ^ (b == 0)).astype(np.uint8)
+        return chips
+    raise ValueError(
+        f"unknown coding {coding!r}; choose from {sorted(_ENCODERS)}"
+    )
+
+
 def decode(chips, coding: str) -> np.ndarray:
     """Decode hard chips with a named line code."""
     if coding not in _DECODERS:

@@ -1,0 +1,142 @@
+"""Batched soft-decision decoding: many trials' chip integrals at once.
+
+The scalar receive chain (:class:`repro.phy.receiver.BackscatterReceiver`)
+decodes one exchange's per-chip envelope integrals; the batched trial
+engine stacks N independent exchanges into an ``(N, chips)`` array and
+decodes every lane in one pass.  Each function here mirrors one scalar
+decision rule *operation for operation*, so lane ``i`` of every output is
+bitwise identical to running the scalar receiver on row ``i`` — the
+contract :mod:`repro.experiments.batch` is built on:
+
+* :func:`soft_decode_bits_batch` ↔
+  :meth:`~repro.phy.receiver.BackscatterReceiver.soft_decode_bits`
+  (differential Manchester, thresholded FM0/NRZ);
+* :func:`resolve_polarity_batch` ↔ the pilot-driven polarity search in
+  :meth:`~repro.phy.receiver.BackscatterReceiver.decode_aligned_bits`.
+
+Only the zero-hysteresis comparator (the receiver's default) is modelled
+in the hard-chip path; the scalar chain is the reference for anything
+more exotic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import moving_average
+from repro.phy import coding as lc
+from repro.phy.config import PhyConfig
+
+
+def _as_soft_batch(soft_chips) -> np.ndarray:
+    soft = np.asarray(soft_chips, dtype=float)
+    if soft.ndim != 2:
+        raise ValueError("soft chips must be a 2-D (lanes, chips) array")
+    return soft
+
+
+def _as_polarity(polarity, lanes: int) -> np.ndarray:
+    pol = np.broadcast_to(np.asarray(polarity, dtype=np.int64), (lanes,))
+    if not np.all((pol == 1) | (pol == -1)):
+        raise ValueError("polarity must be +1 or -1 per lane")
+    return pol
+
+
+def chip_threshold_batch(
+    soft_chips: np.ndarray, config: PhyConfig, adaptive: bool = True
+) -> np.ndarray:
+    """Per-lane comparator threshold over chip integrals.
+
+    Mirrors :meth:`BackscatterReceiver.chip_threshold`: a causal moving
+    average over ``threshold_window_bits`` of chips (or each lane's whole
+    run mean for the fixed-threshold ablation).
+    """
+    soft = _as_soft_batch(soft_chips)
+    window_chips = config.threshold_window_bits * config.chips_per_bit
+    if adaptive:
+        return moving_average(soft, window_chips)
+    means = np.array([float(np.mean(row)) for row in soft])
+    return np.broadcast_to(means[:, None], soft.shape).astype(float)
+
+
+def hard_chips_batch(
+    soft_chips: np.ndarray, config: PhyConfig, adaptive: bool = True
+) -> np.ndarray:
+    """Threshold + zero-hysteresis comparator → hard chips per lane."""
+    soft = _as_soft_batch(soft_chips)
+    thr = chip_threshold_batch(soft, config, adaptive)
+    return (soft > thr).astype(np.uint8)
+
+
+def soft_decode_bits_batch(
+    soft_chips: np.ndarray,
+    config: PhyConfig,
+    polarity=1,
+    adaptive: bool = True,
+) -> np.ndarray:
+    """Chip integrals → bits for every lane at once.
+
+    ``polarity`` is a scalar or per-lane array of ±1 (the sign resolved
+    by each lane's pilot, see :func:`resolve_polarity_batch`).
+    Manchester decodes differentially; FM0/NRZ go through the batched
+    threshold + comparator path, with negative-polarity lanes' hard
+    chips inverted before line decoding — the scalar rule, row for row.
+    """
+    soft = _as_soft_batch(soft_chips)
+    pol = _as_polarity(polarity, soft.shape[0])
+    if config.coding == "manchester":
+        if soft.shape[1] % 2:
+            raise ValueError(
+                "Manchester soft decode needs an even number of chips"
+            )
+        first, second = soft[:, 0::2], soft[:, 1::2]
+        positive = first > second
+        negative = first < second
+        return np.where(pol[:, None] > 0, positive, negative).astype(np.uint8)
+    hard = hard_chips_batch(soft, config, adaptive)
+    hard = np.where(pol[:, None] < 0, 1 - hard, hard).astype(np.uint8)
+    return lc.decode(hard.reshape(-1), config.coding).reshape(
+        hard.shape[0], -1
+    )
+
+
+def resolve_polarity_batch(
+    soft_chips: np.ndarray,
+    pilot_bits: np.ndarray,
+    config: PhyConfig,
+    adaptive: bool = True,
+) -> np.ndarray:
+    """Per-lane backscatter polarity from a known pilot prefix.
+
+    Manchester lanes correlate the pilot's soft half-differences against
+    the known pilot signs (matched filter); other codings decode the
+    pilot at both polarities and keep the one with fewer pilot errors,
+    preferring +1 on ties — both exactly the scalar receiver's rules.
+    """
+    soft = _as_soft_batch(soft_chips)
+    pilot = np.asarray(pilot_bits).astype(np.uint8)
+    if pilot.size == 0:
+        raise ValueError("pilot must be non-empty")
+    pilot_chips = pilot.size * config.chips_per_bit
+    if soft.shape[1] < pilot_chips:
+        raise ValueError("soft chip run shorter than the pilot")
+    signs = pilot.astype(float) * 2.0 - 1.0
+    lanes = soft.shape[0]
+    polarity = np.ones(lanes, dtype=np.int64)
+    if config.coding == "manchester":
+        head = soft[:, :pilot_chips]
+        margins = head[:, 0::2] - head[:, 1::2]
+        for lane in range(lanes):
+            # Per-lane np.dot keeps the accumulation order of the
+            # scalar matched filter (a batched gemv may not).
+            if float(np.dot(margins[lane], signs)) < 0:
+                polarity[lane] = -1
+        return polarity
+    head = soft[:, :pilot_chips]
+    errors_by_pol = {}
+    for pol in (1, -1):
+        decoded = soft_decode_bits_batch(head, config, pol, adaptive)
+        errors_by_pol[pol] = np.count_nonzero(decoded != pilot, axis=1)
+    flip = errors_by_pol[-1] < errors_by_pol[1]
+    polarity[flip] = -1
+    return polarity

@@ -86,6 +86,19 @@ class TestToneSource:
         with pytest.raises(ValueError):
             ToneSource(sample_rate_hz=1e5, offset_hz=6e4)
 
+    def test_batch_zero_count_consumes_phase_like_scalar(self):
+        # The lane-seeding contract: batch_samples must advance each
+        # lane's generator exactly as the scalar path would — including
+        # the phase draw samples() makes before returning an empty
+        # window.
+        src = ToneSource(sample_rate_hz=1e5)
+        scalar_gen = np.random.default_rng(7)
+        batch_gen = np.random.default_rng(7)
+        src.samples(0, scalar_gen)
+        out = src.batch_samples(0, [batch_gen])
+        assert out.shape == (1, 0)
+        assert scalar_gen.uniform() == batch_gen.uniform()
+
 
 class TestFilteredNoiseSource:
     def test_unit_power(self):

@@ -1,0 +1,127 @@
+"""Golden equivalence: ``backend="vectorized"`` reproduces ``"serial"``.
+
+This is the contract the batched trial engine is built on (see
+:mod:`repro.experiments.batch`): lane *i* of a vectorized run consumes
+the same ``SeedSequence.spawn``-derived child streams as serial trial
+*i*, so the per-trial records must match — exactly for integer tallies
+(bit/error counts), and to ``atol=1e-12`` for derived floats.
+
+The full scenario × trial-kind matrix is heavy (every cell stages
+sample-level exchanges twice), so it carries the ``slow`` marker and
+runs in the full CI job; a single cheap-scenario smoke cell stays in
+the fast tier-1 suite.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    error_budget,
+    feedback_ber_trial,
+    forward_ber_trial,
+    frame_delivery_trial,
+    get_scenario,
+)
+
+#: Registry scenarios the golden suite sweeps (ISSUE requires >= 4).
+#: Chosen to cover every batched code path: OFDM-like and tone ambient,
+#: static and faded channels, compensation on and off, and a non-default
+#: asymmetry ratio.
+GOLDEN_SCENARIOS = [
+    "calibrated-default",
+    "fast-short-range",
+    "rayleigh-mobile",
+    "tone-source",
+    "uncompensated",
+    "fine-feedback",
+]
+
+TRIALS = [forward_ber_trial, feedback_ber_trial, frame_delivery_trial]
+
+#: The cheapest sample-level registry scenario (4 kbps → fewest samples
+#: per bit), used for the fast smoke cell.
+SMOKE_SCENARIO = "fast-short-range"
+
+
+def assert_records_equivalent(serial, vectorized):
+    """Per-trial record equality at the acceptance-criteria tolerance."""
+    assert len(serial) == len(vectorized), (
+        f"record counts differ: {len(serial)} serial vs "
+        f"{len(vectorized)} vectorized"
+    )
+    for i, (s, v) in enumerate(zip(serial, vectorized)):
+        assert set(s) == set(v), f"trial {i}: key sets differ"
+        for key, sval in s.items():
+            vval = v[key]
+            if isinstance(sval, float) or isinstance(vval, float):
+                assert math.isclose(sval, vval, rel_tol=0.0, abs_tol=1e-12), (
+                    f"trial {i}, {key}: {sval!r} != {vval!r}"
+                )
+            else:
+                assert sval == vval, f"trial {i}, {key}: {sval!r} != {vval!r}"
+
+
+def run_both(trial, spec, seed, max_trials, **kwargs):
+    serial = ExperimentRunner(
+        trial=trial, max_trials=max_trials, **kwargs
+    ).run(spec, seed=seed)
+    vectorized = ExperimentRunner(
+        trial=trial, max_trials=max_trials, backend="vectorized", **kwargs
+    ).run(spec, seed=seed)
+    return serial, vectorized
+
+
+@pytest.mark.parametrize("trial", TRIALS, ids=lambda t: t.__name__)
+def test_smoke_equivalence(trial):
+    """Tier-1 cell: one cheap scenario, every trial kind."""
+    serial, vectorized = run_both(
+        trial, get_scenario(SMOKE_SCENARIO), seed=2024, max_trials=3
+    )
+    assert_records_equivalent(serial.records, vectorized.records)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+@pytest.mark.parametrize("trial", TRIALS, ids=lambda t: t.__name__)
+def test_golden_equivalence_matrix(name, trial):
+    """Full matrix: every golden scenario × every standard trial kind."""
+    serial, vectorized = run_both(
+        trial, get_scenario(name), seed=1337, max_trials=6
+    )
+    assert serial.metadata["backend"] == "serial"
+    assert vectorized.metadata["backend"] == "vectorized"
+    assert_records_equivalent(serial.records, vectorized.records)
+
+
+@pytest.mark.slow
+def test_equivalence_survives_early_stop_and_chunking():
+    """The stop rule truncates both backends at the same trial, and the
+    vectorized chunk size never leaks into the records."""
+    spec = get_scenario(SMOKE_SCENARIO).replace(distance_m=1.5)
+    kwargs = dict(min_trials=2, stop_when=error_budget(5))
+    serial, vectorized = run_both(
+        forward_ber_trial, spec, seed=77, max_trials=60,
+        chunk_size=7, **kwargs
+    )
+    assert_records_equivalent(serial.records, vectorized.records)
+    rechunked = ExperimentRunner(
+        trial=forward_ber_trial, max_trials=60, backend="vectorized",
+        chunk_size=3, **kwargs
+    ).run(spec, seed=77)
+    assert_records_equivalent(serial.records, rechunked.records)
+
+
+@pytest.mark.slow
+def test_vectorized_matches_parallel_too():
+    """All three backends agree — vectorized vs parallel closes the
+    triangle the serial/parallel suite already covers."""
+    spec = get_scenario(SMOKE_SCENARIO)
+    parallel = ExperimentRunner(
+        trial=forward_ber_trial, max_trials=6, workers=2
+    ).run(spec, seed=31)
+    vectorized = ExperimentRunner(
+        trial=forward_ber_trial, max_trials=6, backend="vectorized"
+    ).run(spec, seed=31)
+    assert_records_equivalent(parallel.records, vectorized.records)

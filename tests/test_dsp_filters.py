@@ -43,9 +43,16 @@ class TestMovingAverage:
         with pytest.raises(ValueError):
             moving_average(np.ones(5), 0)
 
-    def test_rejects_2d(self):
+    def test_rejects_3d(self):
         with pytest.raises(ValueError):
-            moving_average(np.ones((2, 2)), 1)
+            moving_average(np.ones((2, 2, 2)), 1)
+
+    def test_batch_rows_match_scalar(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((4, 37))
+        out = moving_average(x, 5)
+        for row in range(x.shape[0]):
+            assert np.array_equal(out[row], moving_average(x[row], 5))
 
     def test_step_tracking(self):
         # After a level step, the average reaches the new level within
@@ -90,6 +97,17 @@ class TestSinglePoleLowpass:
         with pytest.raises(ValueError):
             single_pole_lowpass(np.ones(4), alpha)
 
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            single_pole_lowpass(np.ones((2, 2, 2)), 0.5)
+
+    def test_batch_rows_match_scalar(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((3, 64))
+        out = single_pole_lowpass(x, 0.2)
+        for row in range(x.shape[0]):
+            assert np.array_equal(out[row], single_pole_lowpass(x[row], 0.2))
+
 
 class TestAlphaForTimeConstant:
     def test_in_unit_interval(self):
@@ -131,3 +149,15 @@ class TestIntegrateAndDump:
     def test_decimate_mean_alias(self):
         x = np.arange(8.0)
         assert np.array_equal(decimate_mean(x, 4), integrate_and_dump(x, 4))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            integrate_and_dump(np.ones((2, 2, 2)), 1)
+
+    def test_batch_rows_match_scalar(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((3, 23))
+        out = integrate_and_dump(x, 4)
+        assert out.shape == (3, 5)
+        for row in range(x.shape[0]):
+            assert np.array_equal(out[row], integrate_and_dump(x[row], 4))

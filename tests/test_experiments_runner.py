@@ -129,13 +129,106 @@ class TestRunnerSweep:
             ScenarioSpec(), "distance_m", [1.0], seed=0,
             aggregate=lambda t: {"total_errors": int(t.sum("errors"))},
         )
-        assert table.columns == ["distance_m", "total_errors"]
+        # n_trials is stamped by the sweep driver itself, so a custom
+        # aggregate cannot hide the realised per-point trial count.
+        assert table.columns == ["distance_m", "total_errors", "n_trials"]
+        assert table.column("n_trials") == [4]
+
+    def test_sweep_records_n_trials_per_point(self):
+        runner = ExperimentRunner(trial=_counting_trial, max_trials=6)
+        table = runner.sweep(ScenarioSpec(), "distance_m", [0.5, 1.0], seed=0)
+        assert table.column("n_trials") == [6, 6]
+        assert table.metadata["point_trials"] == [6, 6]
+
+    def test_sweep_early_stop_visible_in_n_trials(self):
+        # An error-budget stop that truncates one point must be visible
+        # in that point's n_trials, not silently averaged away.
+        runner = ExperimentRunner(
+            trial=_counting_trial, max_trials=200, min_trials=2,
+            stop_when=error_budget(3),
+        )
+        table = runner.sweep(ScenarioSpec(), "distance_m", [0.5, 1.0], seed=1)
+        counts = table.column("n_trials")
+        assert counts == table.metadata["point_trials"]
+        for n in counts:
+            assert 2 <= n < 200
+
+    def test_sweep_aggregate_may_override_n_trials(self):
+        # setdefault semantics: an aggregate that reports its own count
+        # wins, but the metadata trail still records the realised one.
+        runner = ExperimentRunner(trial=_counting_trial, max_trials=4)
+        table = runner.sweep(
+            ScenarioSpec(), "distance_m", [1.0], seed=0,
+            aggregate=lambda t: {"n_trials": -1},
+        )
+        assert table.column("n_trials") == [-1]
+        assert table.metadata["point_trials"] == [4]
 
     def test_sweep_reproducible(self):
         runner = ExperimentRunner(trial=_counting_trial, max_trials=4)
         a = runner.sweep(ScenarioSpec(), "distance_m", [0.5, 1.5], seed=3)
         b = runner.sweep(ScenarioSpec(), "distance_m", [0.5, 1.5], seed=3)
         assert a.records == b.records
+
+
+class TestVectorizedBackend:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ExperimentRunner(trial=_counting_trial, backend="gpu")
+
+    def test_resolved_backend_inference(self):
+        assert ExperimentRunner(trial=_counting_trial).resolved_backend() \
+            == "serial"
+        assert ExperimentRunner(
+            trial=_counting_trial, workers=4
+        ).resolved_backend() == "parallel"
+        assert ExperimentRunner(
+            trial=_counting_trial, backend="vectorized"
+        ).resolved_backend() == "vectorized"
+        # An explicit backend wins over the worker-count inference.
+        assert ExperimentRunner(
+            trial=_counting_trial, workers=4, backend="serial"
+        ).resolved_backend() == "serial"
+
+    def test_unbatched_trial_raises_clear_error(self):
+        runner = ExperimentRunner(
+            trial=_counting_trial, max_trials=2, backend="vectorized"
+        )
+        with pytest.raises(ValueError, match="no batched implementation"):
+            runner.run(ScenarioSpec(), seed=0)
+
+    def test_vectorized_matches_serial_records(self):
+        kwargs = dict(trial=forward_ber_trial, max_trials=4)
+        serial = ExperimentRunner(**kwargs).run(FAST_SPEC, seed=5)
+        vector = ExperimentRunner(backend="vectorized", **kwargs).run(
+            FAST_SPEC, seed=5
+        )
+        assert serial.records == vector.records
+        assert vector.metadata["backend"] == "vectorized"
+        assert serial.metadata["backend"] == "serial"
+
+    def test_vectorized_chunking_does_not_change_records(self):
+        kwargs = dict(trial=forward_ber_trial, max_trials=5)
+        small = ExperimentRunner(
+            backend="vectorized", chunk_size=2, **kwargs
+        ).run(FAST_SPEC, seed=9)
+        large = ExperimentRunner(
+            backend="vectorized", chunk_size=5, **kwargs
+        ).run(FAST_SPEC, seed=9)
+        assert small.records == large.records
+
+    def test_vectorized_error_budget_stops_early(self):
+        runner = ExperimentRunner(
+            trial=forward_ber_trial, max_trials=50, min_trials=2,
+            stop_when=error_budget(1), backend="vectorized", chunk_size=4,
+        )
+        serial = ExperimentRunner(
+            trial=forward_ber_trial, max_trials=50, min_trials=2,
+            stop_when=error_budget(1),
+        )
+        v = runner.run(FAST_SPEC, seed=11)
+        s = serial.run(FAST_SPEC, seed=11)
+        assert v.records == s.records
 
 
 class TestForwardBerTrial:

@@ -17,6 +17,8 @@ from repro.hardware.reflection import ReflectionModulator, ReflectionStates
 from repro.phy import BackscatterReceiver, BackscatterTransmitter
 from repro.utils.rng import random_bits
 
+pytestmark = pytest.mark.integration
+
 
 def _make_link(asymmetry_ratio=64, self_compensation=True):
     cfg = FullDuplexConfig(asymmetry_ratio=asymmetry_ratio,
