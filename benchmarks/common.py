@@ -65,15 +65,20 @@ def run_and_emit(benchmark, name: str, fn, *, trials, scenario, seed,
                  **extra):
     """Run ``fn`` once under ``benchmark.pedantic`` and emit its JSON.
 
-    ``trials`` may be an int or a callable over ``fn``'s result (for
-    benches whose realised trial count is data-dependent).
+    ``trials`` — and any ``extra`` value — may be an int/JSON value or a
+    callable over ``fn``'s result, for benches whose headline numbers
+    are data-dependent.
     """
     start = time.perf_counter()
     out = benchmark.pedantic(fn, rounds=1, iterations=1)
     wall = time.perf_counter() - start
     count = trials(out) if callable(trials) else trials
+    resolved = {
+        key: (value(out) if callable(value) else value)
+        for key, value in extra.items()
+    }
     emit_bench_json(name, wall_time_s=wall, trials=count,
-                    scenario=scenario, seed=seed, **extra)
+                    scenario=scenario, seed=seed, **resolved)
     return out
 
 

@@ -5,6 +5,8 @@
 * :mod:`repro.analysis.montecarlo` — generic trial runners with error
   budgets;
 * :mod:`repro.analysis.sweep` — parameter sweeps producing table rows;
+* :mod:`repro.analysis.contention` — pooled summaries of replicated MAC
+  contention runs, with Wilson bounds on delivery;
 * :mod:`repro.analysis.theory` — closed-form references (Q function,
   envelope-detection BER, ALOHA throughput, Wilson intervals) used to
   sanity-check the simulators;
@@ -21,6 +23,7 @@ from repro.analysis.ber import (
     measure_forward_ber,
     measure_frame_delivery,
 )
+from repro.analysis.contention import ContentionSummary, summarize_mac_table
 from repro.analysis.montecarlo import run_trials
 from repro.analysis.reporting import format_series, format_table
 from repro.analysis.sweep import Sweep1D, sweep1d
@@ -38,6 +41,7 @@ from repro.analysis.throughput import (
 
 __all__ = [
     "BerEstimate",
+    "ContentionSummary",
     "Sweep1D",
     "aloha_throughput",
     "expected_energy_per_delivered_fd",
@@ -51,6 +55,7 @@ __all__ = [
     "ook_envelope_ber",
     "q_function",
     "run_trials",
+    "summarize_mac_table",
     "sweep1d",
     "wilson_interval",
 ]

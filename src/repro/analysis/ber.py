@@ -37,12 +37,18 @@ class BerEstimate:
 
     @property
     def rate(self) -> float:
-        """Point estimate ``errors / trials`` (0 for empty)."""
+        """Point estimate ``errors / trials`` (0 for empty).
+
+        The zero-trials point estimate is a convention, not a
+        measurement — :attr:`confidence` returns the vacuous ``(0, 1)``
+        interval in that case, so downstream comparisons can detect an
+        empty estimate instead of trusting the 0.0.
+        """
         return self.errors / self.trials if self.trials else 0.0
 
     @property
     def confidence(self) -> tuple[float, float]:
-        """95 % Wilson interval on the rate."""
+        """95 % Wilson interval on the rate (``(0.0, 1.0)`` for empty)."""
         return wilson_interval(self.errors, self.trials)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -138,14 +144,19 @@ def measure_frame_delivery(
     gen = ensure_rng(rng)
     failures = 0
     for _ in range(trials):
-        rng_ch, rng_frame, rng_run = spawn_rngs(gen, 3)
+        # One spawned stream per independent draw (channel, frame
+        # payload, feedback bits, run noise) — the lane-seeding layout
+        # of DESIGN §7.  Sharing one stream between the frame and the
+        # feedback would couple the feedback realisation to the payload
+        # length.
+        rng_ch, rng_frame, rng_fb, rng_run = spawn_rngs(gen, 4)
         gains = channel.realize(scene, rng_ch)
         frame = random_frame(payload_bytes, rng_frame)
         fb_count = max(
             1,
             (payload_bytes * 8 + 64) // link.config.asymmetry_ratio,
         )
-        fb = random_bits(rng_frame, fb_count)
+        fb = random_bits(rng_fb, fb_count)
         exchange = link.run(
             gains, frame, fb, rng=rng_run, feedback_enabled=feedback_enabled
         )

@@ -1,0 +1,104 @@
+"""Aggregation of replicated MAC contention runs.
+
+A MAC experiment is a table of flattened
+:class:`~repro.mac.metrics.NetworkMetrics` records (one per seeded
+replication, see :mod:`repro.experiments.mac`).  This module reduces
+such a table to one :class:`ContentionSummary`: every ratio is
+recomputed from the pooled counts — the estimator a mean of per-trial
+ratios only approximates — and the delivery ratio carries its 95 %
+Wilson interval over the pooled packet count, so benchmark tables can
+state how sure they are before declaring one policy arm the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.theory import wilson_interval
+
+
+@dataclass(frozen=True)
+class ContentionSummary:
+    """Pooled statistics of one scenario × policy arm.
+
+    Attributes
+    ----------
+    trials:
+        Replications pooled.
+    offered_packets / delivered_packets / attempts / aborted_attempts:
+        Pooled counts across replications.
+    goodput_bps:
+        Mean delivered payload rate per replication.
+    delivery_ratio / delivery_lo / delivery_hi:
+        Pooled delivered / offered with its 95 % Wilson bounds.
+    mean_latency_seconds:
+        Pooled latency sum over pooled deliveries (delivery-weighted,
+        not a mean of per-trial means).
+    energy_per_delivered_bit:
+        Pooled energy over pooled delivered payload bits (0.0 when
+        nothing was delivered).
+    abort_fraction:
+        Pooled aborted / attempted.
+    """
+
+    trials: int
+    offered_packets: int
+    delivered_packets: int
+    attempts: int
+    aborted_attempts: int
+    goodput_bps: float
+    delivery_ratio: float
+    delivery_lo: float
+    delivery_hi: float
+    mean_latency_seconds: float
+    energy_per_delivered_bit: float
+    abort_fraction: float
+
+    def to_record(self) -> dict:
+        """Flat dict form (one sweep-point / benchmark-table row)."""
+        return {
+            "offered_packets": self.offered_packets,
+            "delivered_packets": self.delivered_packets,
+            "goodput_bps": self.goodput_bps,
+            "delivery_ratio": self.delivery_ratio,
+            "delivery_lo": self.delivery_lo,
+            "delivery_hi": self.delivery_hi,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "energy_per_delivered_bit": self.energy_per_delivered_bit,
+            "abort_fraction": self.abort_fraction,
+        }
+
+
+def summarize_mac_table(table) -> ContentionSummary:
+    """Reduce a MAC trial :class:`~repro.experiments.results.ResultTable`
+    (or any object with its ``column``/``__len__`` interface) to a
+    :class:`ContentionSummary`.
+    """
+    trials = len(table)
+    offered = int(sum(table.column("offered_packets"))) if trials else 0
+    delivered = int(sum(table.column("delivered_packets"))) if trials else 0
+    attempts = int(sum(table.column("attempts"))) if trials else 0
+    aborted = int(sum(table.column("aborted_attempts"))) if trials else 0
+    latency_sum = sum(table.column("latency_sum_seconds")) if trials else 0.0
+    payload_bits = (
+        int(sum(table.column("payload_bits_delivered"))) if trials else 0
+    )
+    energy = sum(table.column("total_energy_joule")) if trials else 0.0
+    goodput = (
+        sum(table.column("goodput_bps")) / trials if trials else 0.0
+    )
+    lo, hi = wilson_interval(delivered, offered)
+    return ContentionSummary(
+        trials=trials,
+        offered_packets=offered,
+        delivered_packets=delivered,
+        attempts=attempts,
+        aborted_attempts=aborted,
+        goodput_bps=goodput,
+        delivery_ratio=delivered / offered if offered else 0.0,
+        delivery_lo=lo,
+        delivery_hi=hi,
+        mean_latency_seconds=latency_sum / delivered if delivered else 0.0,
+        energy_per_delivered_bit=energy / payload_bits if payload_bits else 0.0,
+        abort_fraction=aborted / attempts if attempts else 0.0,
+    )

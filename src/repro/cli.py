@@ -134,10 +134,22 @@ def cmd_ber(args: argparse.Namespace) -> int:
 
 
 def cmd_mac(args: argparse.Namespace) -> int:
-    """Run the protocol comparison on one contention scenario."""
+    """Replicated protocol comparison on one contention scenario.
+
+    Each policy arm runs ``--trials`` seeded replications through
+    :class:`~repro.experiments.runner.ExperimentRunner` (same root seed
+    per arm, so the workload realisation is paired across arms) and the
+    table reports pooled statistics with Wilson bounds on delivery.
+    """
+    from repro.analysis.contention import summarize_mac_table
     from repro.analysis.reporting import format_table
-    from repro.mac.node import run_policy_comparison, standard_policies
-    from repro.mac.resume import ResumeFromAbortPolicy
+    from repro.experiments import (
+        MAC_POLICY_KINDS,
+        ExperimentRunner,
+        mac_trial,
+        precision_budget,
+        run_mac_arms,
+    )
 
     spec = _load_spec(args)
     overrides = {
@@ -149,20 +161,47 @@ def cmd_mac(args: argparse.Namespace) -> int:
     spec = _replace_or_exit(
         spec, **{k: v for k, v in overrides.items() if v is not None}
     )
-    cfg = spec.build_mac_config()
-    policies = standard_policies()
-    policies["fd-resume"] = lambda: ResumeFromAbortPolicy()
-    results = run_policy_comparison(cfg, policies=policies, seed=args.seed)
-    rows = [
-        (name,
-         m.goodput_bps,
-         m.delivery_ratio,
-         m.energy_per_delivered_bit * 1e9,
-         m.abort_fraction)
-        for name, m in results.items()
-    ]
+    arms = [p for p in (s.strip() for s in args.policy.split(",")) if p]
+    unknown = [p for p in arms if p not in MAC_POLICY_KINDS]
+    if unknown:
+        raise _cli_error(
+            f"unknown policy arm(s) {unknown}; "
+            f"choose from {sorted(MAC_POLICY_KINDS)}"
+        )
+    try:
+        runner = ExperimentRunner(
+            trial=mac_trial, max_trials=args.trials,
+            min_trials=min(2, args.trials), workers=args.workers,
+            stop_when=(
+                precision_budget(args.precision)
+                if args.precision is not None else None
+            ),
+        )
+    except ValueError as exc:
+        raise _cli_error(exc) from None
+    results = run_mac_arms(spec, arms, runner=runner, seed=args.seed)
+    rows = []
+    for arm, table in results.items():
+        s = summarize_mac_table(table)
+        rows.append((
+            arm,
+            len(table),
+            s.goodput_bps,
+            s.delivery_ratio,
+            f"[{s.delivery_lo:.3f}, {s.delivery_hi:.3f}]",
+            s.mean_latency_seconds,
+            s.energy_per_delivered_bit * 1e9,
+            s.abort_fraction,
+        ))
+    budget = (f"up to {args.trials}" if args.precision is not None
+              else f"{args.trials}")
+    print(f"scenario {spec.name}: {spec.mac_num_links} links, "
+          f"{spec.mac_arrival_rate_pps} pkt/s/link, "
+          f"loss {spec.mac_loss_probability}, "
+          f"{budget} replication(s)/arm, seed {args.seed}")
     print(format_table(
-        ["policy", "goodput_bps", "delivery", "nJ_per_bit", "aborts"],
+        ["policy", "trials", "goodput_bps", "delivery", "delivery_95ci",
+         "latency_s", "nJ_per_bit", "aborts"],
         rows,
     ))
     return 0
@@ -183,11 +222,12 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
-#: CLI metric name → standard trial function name in the runner module.
+#: CLI metric name → trial function name exported by repro.experiments.
 SWEEP_METRICS = {
     "forward-ber": "forward_ber_trial",
     "feedback-ber": "feedback_ber_trial",
     "frame-delivery": "frame_delivery_trial",
+    "mac": "mac_trial",
 }
 
 
@@ -229,25 +269,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Sweep one scenario knob, printing (and optionally saving) a table."""
     import pathlib
 
-    from repro.experiments import ExperimentRunner, error_budget
-    from repro.experiments import runner as runner_mod
+    import repro.experiments as experiments
+    from repro.experiments import ExperimentRunner, error_budget, mac_aggregate
 
     spec = _load_spec(args)
     values = _parse_sweep_values(args.param, args.values)
     for value in values:  # reject bad knob values before spending trials
         _replace_or_exit(spec, **{args.param: value})
-    trial = getattr(runner_mod, SWEEP_METRICS[args.metric])
+    trial = getattr(experiments, SWEEP_METRICS[args.metric])
+    # MAC records carry packet counts, not error/bit tallies: they pool
+    # through the contention aggregate and have no error budget to stop
+    # on (every replication is a fixed-horizon simulation).
+    is_mac = args.metric == "mac"
+    if is_mac and args.backend == "vectorized":
+        raise _cli_error(
+            "the mac metric has no vectorized backend (event-driven "
+            "trials have no lane-stackable hot loop); use serial or "
+            "parallel"
+        )
+    aggregate = mac_aggregate if is_mac else _ber_aggregate
     try:
         runner = ExperimentRunner(
             trial=trial, max_trials=args.trials,
             min_trials=min(5, args.trials),
-            stop_when=error_budget(args.min_errors), workers=args.workers,
+            stop_when=None if is_mac else error_budget(args.min_errors),
+            workers=args.workers,
             backend=args.backend,
         )
     except ValueError as exc:
         raise _cli_error(exc) from None
     table = runner.sweep(spec, args.param, values, seed=args.seed,
-                         aggregate=_ber_aggregate)
+                         aggregate=aggregate)
     print(f"scenario {spec.name}: {args.metric} vs {args.param} "
           f"({args.trials} trials/point, "
           f"{runner.resolved_backend()} backend)")
@@ -288,10 +340,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trial execution backend (default: serial, "
                             "or parallel when --workers > 1)")
 
-    p_ber = sub.add_parser("ber", help="BER at one distance")
+    p_ber = sub.add_parser(
+        "ber",
+        help="BER at the scenario's distance",
+        description="Measure both directions' BER at the selected "
+        "scenario's operating point.  Since the scenario registry "
+        "landed, the measurement runs at the scenario's own distance_m "
+        "(0.5 m for calibrated-default) rather than a fixed 1.0 m; pass "
+        "--distance to override it explicitly.",
+    )
     add_scenario_flag(p_ber)
     p_ber.add_argument("--distance", type=float, default=None,
-                       help="tag separation [m] (overrides the scenario)")
+                       help="tag separation [m] (overrides the scenario's "
+                            "distance_m)")
     p_ber.add_argument("--rate", type=float, default=None)
     p_ber.add_argument("--trials", type=int, default=15)
     p_ber.add_argument("--workers", type=int, default=1,
@@ -299,13 +360,31 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_flag(p_ber)
     p_ber.set_defaults(func=cmd_ber)
 
-    p_mac = sub.add_parser("mac", help="protocol comparison")
+    p_mac = sub.add_parser(
+        "mac",
+        help="replicated protocol comparison",
+        description="Compare link-layer policy arms on one contention "
+        "scenario: each arm runs --trials seeded replications through "
+        "the experiment runner (paired seeds across arms) and the table "
+        "pools them with Wilson bounds on delivery.",
+    )
     add_scenario_flag(p_mac)
     p_mac.add_argument("--links", type=int, default=None)
     p_mac.add_argument("--load", type=float, default=None,
-                       help="packet arrivals per second per link")
+                       help="mean packet arrivals per second per link")
     p_mac.add_argument("--loss", type=float, default=None)
     p_mac.add_argument("--horizon", type=float, default=None)
+    p_mac.add_argument("--policy",
+                       default="no-arq,hd-arq,fd-abort,fd-resume",
+                       help="comma-separated policy arms to run "
+                            "(default: all four)")
+    p_mac.add_argument("--trials", type=int, default=3,
+                       help="replications per policy arm (default 3)")
+    p_mac.add_argument("--workers", type=int, default=1,
+                       help="parallel trial processes (default serial)")
+    p_mac.add_argument("--precision", type=float, default=None,
+                       help="stop an arm early once delivery is known "
+                            "to +/- this half-width (95%% Wilson)")
     p_mac.set_defaults(func=cmd_mac)
 
     p_scen = sub.add_parser("scenario", help="inspect the scenario registry")

@@ -18,6 +18,12 @@ package owns both halves:
 * :mod:`repro.experiments.batch` — the vectorized backend: batched
   trial implementations that run whole seed chunks as stacked numpy
   arrays, bit-for-bit equal to the scalar path;
+* :mod:`repro.experiments.mac` — MAC contention as a replicated trial
+  kind: :func:`mac_trial` runs one seeded
+  :class:`~repro.mac.simulator.NetworkSimulator` replication per trial
+  under the scenario's ``mac_policy`` arm, :func:`run_mac_arms` pairs
+  policy arms on one seed, and :func:`mac_aggregate` pools records with
+  Wilson bounds on delivery;
 * :mod:`repro.experiments.results` — :class:`ResultTable`, the records
   + metadata container every runner returns.
 
@@ -33,6 +39,12 @@ Quickstart::
     print(table.format())
 """
 
+from repro.experiments.mac import (
+    build_mac_policy,
+    mac_aggregate,
+    mac_trial,
+    run_mac_arms,
+)
 from repro.experiments.registry import (
     get_scenario,
     register_scenario,
@@ -47,8 +59,13 @@ from repro.experiments.runner import (
     feedback_ber_trial,
     forward_ber_trial,
     frame_delivery_trial,
+    precision_budget,
 )
-from repro.experiments.spec import ScenarioSpec, ScenarioStack
+from repro.experiments.spec import (
+    MAC_POLICY_KINDS,
+    ScenarioSpec,
+    ScenarioStack,
+)
 
 #: Re-exported lazily: repro.experiments.batch pulls in the full
 #: sample-level stack, which consumers that never run the vectorized
@@ -69,16 +86,21 @@ def __getattr__(name):
 
 __all__ = [
     "BACKENDS",
+    "MAC_POLICY_KINDS",
     "ExperimentRunner",
     "ResultTable",
     "ScenarioSpec",
     "ScenarioStack",
     "batched_trial_for",
+    "build_mac_policy",
     "error_budget",
     "feedback_ber_trial",
     "forward_ber_trial",
     "frame_delivery_trial",
     "get_scenario",
+    "mac_aggregate",
+    "mac_trial",
+    "precision_budget",
     "register_batched_trial",
     "register_scenario",
     "scenario",

@@ -70,16 +70,18 @@ def _engine_for(spec: ScenarioSpec) -> BatchFullDuplexEngine:
     return engine
 
 
-def _lane_streams(children) -> tuple[list, list, list]:
-    """Each child sequence → the scalar trial's three generators."""
-    first, second, third = [], [], []
+def _lane_streams(children, count: int = 3) -> tuple[list, ...]:
+    """Each child sequence → the scalar trial's ``count`` generators.
+
+    The raw-bit trials spawn three streams per trial; the framed trial
+    spawns four (channel, frame, feedback, run).
+    """
+    streams: tuple[list, ...] = tuple([] for _ in range(count))
     for child in children:
         rng = np.random.default_rng(child)
-        a, b, c = spawn_rngs(rng, 3)
-        first.append(a)
-        second.append(b)
-        third.append(c)
-    return first, second, third
+        for lane, gen in zip(streams, spawn_rngs(rng, count)):
+            lane.append(gen)
+    return streams
 
 
 def _stage_raw_exchange(spec, children, need_data: bool, need_feedback: bool):
@@ -179,7 +181,7 @@ def batch_frame_delivery_trials(spec: ScenarioSpec, children) -> list[dict]:
         return []
     stack = _stack_for(spec)
     engine = _engine_for(spec)
-    rng_ch, rng_frame, rng_run = _lane_streams(children)
+    rng_ch, rng_frame, rng_fb, rng_run = _lane_streams(children, 4)
     gains = stack.channel.realize_batch(stack.scene, rng_ch)
     payload_bytes = 16
     frames = [random_frame(payload_bytes, r) for r in rng_frame]
@@ -189,7 +191,7 @@ def batch_frame_delivery_trials(spec: ScenarioSpec, children) -> list[dict]:
                 r,
                 max(1, (payload_bytes * 8 + 64) // spec.asymmetry_ratio),
             )
-            for r in rng_frame
+            for r in rng_fb
         ]
     )
     phy = stack.config.phy

@@ -1,0 +1,162 @@
+"""MAC contention as a first-class replicated trial kind.
+
+One trial = one seeded :class:`repro.mac.simulator.NetworkSimulator`
+replication of the scenario's contention workload under the scenario's
+policy arm (:attr:`~repro.experiments.spec.ScenarioSpec.mac_policy`).
+:func:`mac_trial` is a picklable ``trial(spec, rng) -> dict`` callable,
+so :class:`~repro.experiments.runner.ExperimentRunner` gives MAC
+experiments everything the PHY trials already have: seeds-spawned
+reproducibility, serial == parallel bitwise equivalence, adaptive
+stopping and sweepable ``mac_*`` knobs.
+
+The record is the flattened :class:`~repro.mac.metrics.NetworkMetrics`
+(network-total counts plus derived rates); :func:`mac_aggregate`
+re-derives every ratio from the summed counts, so aggregates are exact
+rather than means-of-ratios, and stamps Wilson confidence bounds on the
+delivery ratio (see :func:`repro.analysis.theory.wilson_interval`).
+
+Policy arms are compared by running one runner per arm on the same root
+seed (:func:`run_mac_arms`): identical seeds pair the arrival processes
+across arms, so every arm faces the same offered workload.  (Later
+draws — per-attempt loss, backoff, ACK corruption — interleave with
+policy behaviour and diverge once the arms act differently, so the
+pairing reduces variance on the offered side only.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.results import ResultTable
+from repro.experiments.spec import MAC_POLICY_KINDS, ScenarioSpec
+from repro.mac.arq import LinkPolicy
+from repro.mac.metrics import NetworkMetrics
+from repro.mac.node import standard_policies
+from repro.mac.resume import ResumeFromAbortPolicy
+from repro.mac.simulator import NetworkSimulator
+
+
+def build_mac_policy(spec: ScenarioSpec) -> LinkPolicy:
+    """A fresh policy instance for ``spec.mac_policy``.
+
+    The arm → constructor wiring is
+    :func:`repro.mac.node.standard_policies` (plus the ``fd-resume``
+    extension): the full-duplex arms inherit the scenario's
+    ``asymmetry_ratio`` — the same ``r`` the PHY trials run at — plus
+    the MAC-specific detector latency and retry budget.
+    """
+    factories = standard_policies(
+        asymmetry_ratio=spec.asymmetry_ratio,
+        detection_latency_bits=spec.mac_detection_latency_bits,
+        max_retries=spec.mac_max_retries,
+    )
+    factories["fd-resume"] = lambda: ResumeFromAbortPolicy(
+        asymmetry_ratio=spec.asymmetry_ratio,
+        detection_latency_bits=spec.mac_detection_latency_bits,
+        max_retries=spec.mac_max_retries,
+    )
+    if spec.mac_policy not in factories:
+        raise ValueError(
+            f"unknown mac_policy {spec.mac_policy!r}; "
+            f"choose from {sorted(MAC_POLICY_KINDS)}"
+        )
+    return factories[spec.mac_policy]()
+
+
+def flatten_network_metrics(metrics: NetworkMetrics) -> dict:
+    """One flat, JSON-safe record of a :class:`NetworkMetrics`.
+
+    Counts and energy totals are network sums (exact, summable across
+    trials); the derived rates repeat the metrics properties per trial.
+    ``energy_per_delivered_bit`` is 0.0 when nothing was delivered —
+    aggregate from the totals, not from this column.
+    """
+    delivered = int(metrics.total("delivered_packets"))
+    latency_sum = float(metrics.total("latency_sum_seconds"))
+    return {
+        "offered_packets": int(metrics.total("offered_packets")),
+        "delivered_packets": delivered,
+        "failed_packets": int(metrics.total("failed_packets")),
+        "attempts": int(metrics.total("attempts")),
+        "aborted_attempts": int(metrics.total("aborted_attempts")),
+        "bits_transmitted": int(metrics.total("bits_transmitted")),
+        "payload_bits_delivered": int(
+            metrics.total("payload_bits_delivered")
+        ),
+        "tx_energy_joule": float(metrics.total_tx_energy_joule),
+        "total_energy_joule": float(metrics.total_energy_joule),
+        "latency_sum_seconds": latency_sum,
+        "duration_seconds": float(metrics.duration_seconds),
+        "goodput_bps": float(metrics.goodput_bps),
+        "delivery_ratio": float(metrics.delivery_ratio),
+        "abort_fraction": float(metrics.abort_fraction),
+        "mean_latency_seconds": (
+            latency_sum / delivered if delivered else 0.0
+        ),
+        "energy_per_delivered_bit": (
+            float(metrics.energy_per_delivered_bit)
+            if metrics.total("payload_bits_delivered")
+            else 0.0
+        ),
+        "jain_fairness": float(metrics.jain_fairness()),
+    }
+
+
+def mac_trial(spec: ScenarioSpec, rng: np.random.Generator) -> dict:
+    """One seeded contention replication; returns flattened metrics.
+
+    Picklable module-level callable for
+    :class:`~repro.experiments.runner.ExperimentRunner`; the whole
+    event-driven run consumes only ``rng``, so the record is a pure
+    function of ``(spec, rng)`` on every backend.
+    """
+    sim = NetworkSimulator(
+        config=spec.build_mac_config(),
+        policy_factory=lambda: build_mac_policy(spec),
+    )
+    return flatten_network_metrics(sim.run(rng=rng))
+
+
+def mac_aggregate(table: ResultTable) -> dict:
+    """Collapse a MAC trial table into one exact summary record.
+
+    Ratios are recomputed from the summed counts (a mean of per-trial
+    ratios would weight short replications equally with long ones); the
+    delivery ratio additionally carries its 95 % Wilson bounds over the
+    pooled packet count.  The sweep driver stamps ``n_trials`` itself.
+    """
+    from repro.analysis.contention import summarize_mac_table
+
+    return summarize_mac_table(table).to_record()
+
+
+def run_mac_arms(
+    spec: ScenarioSpec,
+    arms=MAC_POLICY_KINDS,
+    *,
+    runner=None,
+    seed=0,
+    **runner_kwargs,
+) -> dict[str, ResultTable]:
+    """Run the same scenario under several policy arms, paired by seed.
+
+    Each arm gets an :class:`ExperimentRunner` built from
+    ``runner_kwargs`` (or a caller-supplied ``runner`` reused across
+    arms) and the *same* root seed, so the arrival processes of trial
+    ``i`` are identical across arms; draws that interleave with policy
+    behaviour (loss, backoff, ACKs) diverge after the arms first act
+    differently.  Returns ``arm → table`` in the given arm order.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    if runner is not None and runner_kwargs:
+        raise TypeError(
+            f"pass either runner or runner kwargs, not both "
+            f"(got runner and {sorted(runner_kwargs)})"
+        )
+    if runner is None:
+        runner = ExperimentRunner(trial=mac_trial, **runner_kwargs)
+    results: dict[str, ResultTable] = {}
+    for arm in arms:
+        results[arm] = runner.run(spec.replace(mac_policy=arm), seed=seed)
+    return results

@@ -179,3 +179,54 @@ def _dense_mac() -> ScenarioSpec:
         mac_arrival_rate_pps=1.0,
         mac_loss_probability=0.2,
     )
+
+
+@scenario("sparse-mac")
+def _sparse_mac() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sparse-mac",
+        description="3 lightly-loaded links: collisions rare, channel "
+        "loss dominates",
+        mac_num_links=3,
+        mac_arrival_rate_pps=0.1,
+        mac_loss_probability=0.05,
+        mac_horizon_seconds=240.0,
+    )
+
+
+@scenario("dense-bursty-mac")
+def _dense_bursty_mac() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="dense-bursty-mac",
+        description="16 links near the ALOHA knee with short packets: "
+        "collision-dominated contention",
+        mac_num_links=16,
+        mac_arrival_rate_pps=0.7,
+        mac_payload_bytes=32,
+        mac_loss_probability=0.05,
+    )
+
+
+@scenario("lossy-channel-mac")
+def _lossy_channel_mac() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="lossy-channel-mac",
+        description="moderate contention under 40 % per-attempt channel "
+        "loss: the regime where early abort pays most",
+        mac_num_links=8,
+        mac_arrival_rate_pps=0.3,
+        mac_loss_probability=0.4,
+    )
+
+
+@scenario("asymmetric-load-mac")
+def _asymmetric_load_mac() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="asymmetric-load-mac",
+        description="12 links with an 8:1 heaviest-to-lightest load "
+        "spread: fairness under skewed offered load",
+        mac_num_links=12,
+        mac_arrival_rate_pps=0.4,
+        mac_load_asymmetry=8.0,
+        mac_loss_probability=0.1,
+    )

@@ -22,6 +22,9 @@ discards them, keeping serial and parallel outputs identical.
 The module also ships the three standard trial functions (forward BER,
 feedback BER, frame delivery) as module-level picklable callables, with
 a per-process stack cache so workers build each scenario only once.
+The fourth standard trial kind — one seeded MAC contention replication
+per trial — lives in :mod:`repro.experiments.mac` (:func:`mac_trial`)
+and runs on the same serial/parallel machinery.
 """
 
 from __future__ import annotations
@@ -70,6 +73,43 @@ def error_budget(
 
     def stop(records: list[dict]) -> bool:
         return sum(r[key] for r in records) >= min_errors
+
+    return stop
+
+
+def precision_budget(
+    max_halfwidth: float,
+    successes: str = "delivered_packets",
+    trials: str = "offered_packets",
+) -> Callable[[list[dict]], bool]:
+    """Stop once the pooled proportion is known to ``±max_halfwidth``.
+
+    The MAC counterpart of :func:`error_budget`: records carry count
+    columns (deliveries and offered packets by default), and the run
+    stops at the earliest prefix whose 95 % Wilson interval on the
+    pooled ``successes / trials`` proportion is narrower than
+    ``2 * max_halfwidth``.  Evaluated over the ordered prefix, so it
+    preserves serial == parallel equivalence like every stop rule.
+
+    Caveat: the Wilson interval treats the pooled counts as i.i.d.
+    Bernoulli draws.  Packet outcomes *within* one contention
+    replication share a collision domain and are positively correlated,
+    so the interval understates replication-to-replication variance —
+    treat ``max_halfwidth`` as a workload-sizing dial and keep a
+    ``min_trials`` floor of several replications, not as an exact
+    coverage guarantee.
+    """
+    from repro.analysis.theory import wilson_interval
+
+    check_positive("max_halfwidth", max_halfwidth)
+
+    def stop(records: list[dict]) -> bool:
+        n = sum(r[trials] for r in records)
+        k = sum(r[successes] for r in records)
+        if n == 0:
+            return False
+        lo, hi = wilson_interval(k, n)
+        return (hi - lo) <= 2.0 * max_halfwidth
 
     return stop
 
@@ -360,12 +400,16 @@ def frame_delivery_trial(spec: ScenarioSpec, rng) -> dict:
     from repro.phy.framing import random_frame
 
     stack = _stack_for(spec)
-    rng_ch, rng_frame, rng_run = spawn_rngs(rng, 3)
+    # One spawned stream per draw (channel, frame, feedback, run) — the
+    # DESIGN §7 lane layout; the feedback stream is separate from the
+    # frame's so the feedback realisation cannot depend on the payload
+    # length.
+    rng_ch, rng_frame, rng_fb, rng_run = spawn_rngs(rng, 4)
     gains = stack.realize(rng_ch)
     payload_bytes = 16
     frame = random_frame(payload_bytes, rng_frame)
     fb = random_bits(
-        rng_frame,
+        rng_fb,
         max(1, (payload_bytes * 8 + 64) // spec.asymmetry_ratio),
     )
     exchange = stack.link.run(gains, frame, fb, rng=rng_run)

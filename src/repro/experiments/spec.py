@@ -48,6 +48,10 @@ SOURCE_KINDS = ("ofdm", "tone", "noise")
 #: Fading kinds accepted by the two fading fields.
 FADING_KINDS = ("static", "rayleigh", "rician")
 
+#: Link-layer policy arms accepted by :attr:`ScenarioSpec.mac_policy`
+#: (see :mod:`repro.experiments.mac` for the arm → policy wiring).
+MAC_POLICY_KINDS = ("no-arq", "hd-arq", "fd-abort", "fd-resume")
+
 
 def _make_pathloss(kind: str, exponent: float) -> PathLossModel:
     if kind == "free-space":
@@ -98,9 +102,17 @@ class ScenarioSpec:
     distance_m / source_distance_m:
         Geometry of the canonical two-device line scene.
     mac_num_links / mac_arrival_rate_pps / mac_payload_bytes /
-    mac_loss_probability / mac_horizon_seconds:
+    mac_loss_probability / mac_horizon_seconds / mac_load_asymmetry:
         Protocol-simulator workload (see
         :class:`repro.mac.simulator.SimulationConfig`).
+    mac_policy:
+        Link-layer policy arm a MAC trial runs (``"no-arq"``,
+        ``"hd-arq"``, ``"fd-abort"`` or ``"fd-resume"``); the
+        full-duplex arms inherit :attr:`asymmetry_ratio`.
+    mac_detection_latency_bits / mac_max_retries:
+        Policy knobs: in-reception detector latency of the full-duplex
+        arms, and the retry budget of every ARQ arm (``"no-arq"`` never
+        retries regardless).
     """
 
     name: str = "custom"
@@ -136,6 +148,10 @@ class ScenarioSpec:
     mac_payload_bytes: int = 64
     mac_loss_probability: float = 0.1
     mac_horizon_seconds: float = 120.0
+    mac_load_asymmetry: float = 1.0
+    mac_policy: str = "fd-abort"
+    mac_detection_latency_bits: int = 8
+    mac_max_retries: int = 5
 
     def __post_init__(self) -> None:
         if self.source_kind not in SOURCE_KINDS:
@@ -162,6 +178,17 @@ class ScenarioSpec:
         check_positive("mac_arrival_rate_pps", self.mac_arrival_rate_pps)
         check_positive("mac_payload_bytes", self.mac_payload_bytes)
         check_positive("mac_horizon_seconds", self.mac_horizon_seconds)
+        if self.mac_load_asymmetry < 1.0:
+            raise ValueError("mac_load_asymmetry must be >= 1.0")
+        if self.mac_policy not in MAC_POLICY_KINDS:
+            raise ValueError(
+                f"unknown mac_policy {self.mac_policy!r}; "
+                f"choose from {sorted(MAC_POLICY_KINDS)}"
+            )
+        if self.mac_detection_latency_bits < 0:
+            raise ValueError("mac_detection_latency_bits must be >= 0")
+        if self.mac_max_retries < 0:
+            raise ValueError("mac_max_retries must be >= 0")
         # Fail fast on PHY / full-duplex knobs: constructing the configs
         # runs their own validation (rate divisibility, even ratio, ...).
         self.build_config()
@@ -242,11 +269,18 @@ class ScenarioSpec:
         return SimulationConfig(
             num_links=self.mac_num_links,
             arrival_rate_pps=self.mac_arrival_rate_pps,
+            load_asymmetry=self.mac_load_asymmetry,
             horizon_seconds=self.mac_horizon_seconds,
             payload_bytes=self.mac_payload_bytes,
             bit_rate_bps=self.bit_rate_bps,
             loss=BernoulliLoss(self.mac_loss_probability),
         )
+
+    def build_mac_policy(self):
+        """A fresh link-layer policy instance for :attr:`mac_policy`."""
+        from repro.experiments.mac import build_mac_policy
+
+        return build_mac_policy(self)
 
     def build(self) -> "ScenarioStack":
         """Construct the full simulation stack in one call."""

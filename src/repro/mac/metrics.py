@@ -63,7 +63,8 @@ class NetworkMetrics:
     nodes: list[NodeMetrics] = field(default_factory=list)
     duration_seconds: float = 0.0
 
-    def _total(self, attr: str) -> float:
+    def total(self, attr: str) -> float:
+        """Sum of one :class:`NodeMetrics` field over all nodes."""
         return sum(getattr(n, attr) for n in self.nodes)
 
     @property
@@ -71,30 +72,30 @@ class NetworkMetrics:
         """Delivered payload bits per second across the network."""
         if self.duration_seconds <= 0:
             return 0.0
-        return self._total("payload_bits_delivered") / self.duration_seconds
+        return self.total("payload_bits_delivered") / self.duration_seconds
 
     @property
     def delivery_ratio(self) -> float:
         """Network-wide delivered / offered."""
-        offered = self._total("offered_packets")
+        offered = self.total("offered_packets")
         if offered == 0:
             return 0.0
-        return self._total("delivered_packets") / offered
+        return self.total("delivered_packets") / offered
 
     @property
     def total_tx_energy_joule(self) -> float:
         """Transmit energy summed over nodes."""
-        return self._total("tx_energy_joule")
+        return self.total("tx_energy_joule")
 
     @property
     def total_energy_joule(self) -> float:
         """All energy (tx + rx) summed over nodes."""
-        return self._total("tx_energy_joule") + self._total("rx_energy_joule")
+        return self.total("tx_energy_joule") + self.total("rx_energy_joule")
 
     @property
     def energy_per_delivered_bit(self) -> float:
         """Network energy per delivered payload bit [J/bit]."""
-        bits = self._total("payload_bits_delivered")
+        bits = self.total("payload_bits_delivered")
         if bits == 0:
             return float("inf") if self.total_energy_joule > 0 else 0.0
         return self.total_energy_joule / bits
@@ -102,10 +103,10 @@ class NetworkMetrics:
     @property
     def abort_fraction(self) -> float:
         """Aborted / total attempts — how often early abort engaged."""
-        attempts = self._total("attempts")
+        attempts = self.total("attempts")
         if attempts == 0:
             return 0.0
-        return self._total("aborted_attempts") / attempts
+        return self.total("aborted_attempts") / attempts
 
     def jain_fairness(self) -> float:
         """Jain's fairness index over per-node delivered payload bits."""

@@ -44,7 +44,13 @@ class SimulationConfig:
     num_links:
         Contending transmitter→receiver pairs.
     arrival_rate_pps:
-        Poisson packet arrival rate per link [packets/s].
+        Mean Poisson packet arrival rate per link [packets/s].
+    load_asymmetry:
+        Ratio of the heaviest link's arrival rate to the lightest's.
+        Per-link rates are geometrically spaced between the extremes and
+        normalised so their mean stays ``arrival_rate_pps``; ``1.0``
+        (default) keeps every link identical, bit-for-bit compatible
+        with the historical behaviour.
     horizon_seconds:
         Arrival horizon; in-flight exchanges get a grace period to
         finish.
@@ -61,6 +67,7 @@ class SimulationConfig:
 
     num_links: int = 5
     arrival_rate_pps: float = 1.0
+    load_asymmetry: float = 1.0
     horizon_seconds: float = 60.0
     payload_bytes: int = 64
     overhead_bits: int = 45
@@ -73,6 +80,21 @@ class SimulationConfig:
         check_positive("horizon_seconds", self.horizon_seconds)
         check_positive("payload_bytes", self.payload_bytes)
         check_positive("bit_rate_bps", self.bit_rate_bps)
+        if self.load_asymmetry < 1.0:
+            raise ValueError("load_asymmetry must be >= 1.0")
+
+    def link_arrival_rates(self) -> list[float]:
+        """Per-link arrival rates [packets/s], lightest link first.
+
+        Geometric spacing between the extremes, rescaled so the mean is
+        exactly :attr:`arrival_rate_pps`.
+        """
+        n = self.num_links
+        if n == 1 or self.load_asymmetry == 1.0:
+            return [self.arrival_rate_pps] * n
+        weights = [self.load_asymmetry ** (i / (n - 1)) for i in range(n)]
+        mean = sum(weights) / n
+        return [self.arrival_rate_pps * w / mean for w in weights]
 
     @property
     def payload_bits(self) -> int:
@@ -134,7 +156,8 @@ class SimHooks:
                  attempt: AttemptContext):
         self._sim = sim
         self._link = link
-        self._attempt = attempt
+        #: The attempt these hooks are bound to (one SimHooks per attempt).
+        self.attempt = attempt
 
     def schedule_bits(self, bits: float, action: Callable[[], None]) -> None:
         """Run ``action`` after ``bits`` bit-periods."""
@@ -142,7 +165,7 @@ class SimHooks:
 
     def abort_at_bit(self, bit: int) -> None:
         """Stop the ongoing data transmission at data-bit ``bit``."""
-        self._link.abort_attempt_at_bit(self._attempt, bit)
+        self._link.abort_attempt_at_bit(self.attempt, bit)
 
     def start_ack(self, ack_bits: int,
                   done: Callable[[bool], None]) -> None:
@@ -152,7 +175,7 @@ class SimHooks:
 
     def resolve(self, delivered: bool, tx_knows: bool) -> None:
         """Finish the attempt; the simulator applies the retry rule."""
-        self._link.resolve_attempt(self._attempt, delivered, tx_knows)
+        self._link.resolve_attempt(self.attempt, delivered, tx_knows)
 
 
 class _LinkRuntime:
@@ -172,6 +195,7 @@ class _LinkRuntime:
         self._packet_delivered = False
         self._current_tx: _Transmission | None = None
         self._last_attempt: AttemptContext | None = None
+        self._hooks: SimHooks | None = None
         self._end_event = None
         self.busy_seconds = 0.0
         for t in self._arrivals:
@@ -186,6 +210,9 @@ class _LinkRuntime:
             self._next_packet()
 
     def _next_packet(self) -> None:
+        # The finished packet's hooks die here, whether or not another
+        # packet is queued — no attempt state crosses packet boundaries.
+        self._hooks = None
         if not self._queue:
             self._busy = False
             return
@@ -209,9 +236,9 @@ class _LinkRuntime:
         )
         self._last_attempt = attempt
         self.metrics.attempts += 1
-        self._attempt = attempt
-        hooks = SimHooks(self.sim, self, attempt)
-        self._hooks = hooks
+        # Rebound per attempt: corruption callbacks route through the
+        # hooks of the attempt they were raised for, never a stale one.
+        self._hooks = SimHooks(self.sim, self, attempt)
 
         duration = attempt.packet_bits / cfg.bit_rate_bps
         tx = _Transmission(
@@ -247,6 +274,8 @@ class _LinkRuntime:
     def _corrupt_at_bit(self, attempt: AttemptContext, bit: int) -> None:
         if attempt.corrupted:
             return  # first corruption wins; later overlaps change nothing
+        if self._hooks is None or self._hooks.attempt is not attempt:
+            return  # stale event for an attempt that already finished
         attempt.corrupted = True
         attempt.onset_bit = bit
         if self._current_tx is not None:
@@ -272,6 +301,8 @@ class _LinkRuntime:
     def _finish_data(self, attempt: AttemptContext) -> None:
         if attempt.ended:
             return
+        if self._hooks is None or self._hooks.attempt is not attempt:
+            return  # stale end event for a superseded attempt
         attempt.ended = True
         if self._current_tx is not None:
             self.sim.medium.end(self._current_tx)
@@ -374,16 +405,18 @@ class NetworkSimulator:
         self.medium = _Medium()
         self.loss_position = UniformLossPosition()
         link_rngs = spawn_rngs(gen, self.config.num_links)
+        rates = self.config.link_arrival_rates()
         links = []
-        for i, link_rng in enumerate(link_rngs):
+        for i, (rate, link_rng) in enumerate(zip(rates, link_rngs)):
             arrivals = poisson_arrivals(
-                self.config.arrival_rate_pps,
+                rate,
                 self.config.horizon_seconds,
                 link_rng,
             )
             links.append(
                 _LinkRuntime(self, i, self.policy_factory(), arrivals, link_rng)
             )
+        self.links = links
         grace = 50 * self.config.packet_seconds
         self.queue.run_until(self.config.horizon_seconds + grace)
         # Idle leakage for the remainder of each link's horizon.

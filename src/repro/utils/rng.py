@@ -44,10 +44,31 @@ def spawn_rngs(rng, count: int) -> list[np.random.Generator]:
     base = ensure_rng(rng)
     if hasattr(base, "spawn"):  # numpy >= 1.25
         return list(base.spawn(count))
-    # Fallback for older numpy: derive from random 64-bit integers.
-    return [
-        np.random.default_rng(int(base.integers(0, 2**63 - 1))) for _ in range(count)
-    ]
+    return _spawn_via_seed_sequence(base, count)
+
+
+def _spawn_via_seed_sequence(base: np.random.Generator, count: int):
+    """Fallback for numpy < 1.25 (no ``Generator.spawn``).
+
+    Children must come from ``SeedSequence.spawn`` on the base
+    generator's own seed sequence — exactly what ``Generator.spawn``
+    does internally — so both paths yield the same independent streams
+    and advance the parent identically (spawning touches only the
+    sequence's spawn key, never the parent's draw stream).  Deriving
+    children from raw 64-bit integer draws instead would both risk
+    birthday-bound seed collisions and desynchronise the parent stream
+    across numpy versions.
+    """
+    bit_gen = base.bit_generator
+    seed_seq = getattr(bit_gen, "seed_seq", None)
+    if seed_seq is None:  # pre-1.19 spelling
+        seed_seq = getattr(bit_gen, "_seed_seq", None)
+    if seed_seq is None:
+        raise TypeError(
+            "cannot spawn children: the base generator's bit generator "
+            "exposes no seed sequence"
+        )
+    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
 
 
 def random_bits(rng, count: int) -> np.ndarray:

@@ -116,6 +116,13 @@ class TestBerEstimate:
     def test_empty(self):
         assert BerEstimate(0, 0).rate == 0.0
 
+    def test_zero_trials_confidence_is_vacuous(self):
+        # Regression: an empty estimate must advertise total uncertainty
+        # — wilson_interval(0, 0) is the full unit interval, never a
+        # division error or a confident-looking (0, 0).
+        assert BerEstimate(0, 0).confidence == (0.0, 1.0)
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
     def test_confidence_brackets_rate(self):
         est = BerEstimate(errors=20, trials=400)
         lo, hi = est.confidence
@@ -156,6 +163,52 @@ class TestMeasurementHarness:
         # Distant link: errors plentiful, should stop well short of max.
         assert est.errors >= 10
         assert est.trials < 50 * 128
+
+    def test_frame_delivery_feedback_has_its_own_stream(self, monkeypatch):
+        """Regression: the frame payload and the feedback bits must come
+        from *separate* spawned streams (the DESIGN §7 lane layout), so
+        the feedback realisation cannot depend on the payload length."""
+        import repro.analysis.ber as ber_mod
+        from repro.ambient import ToneSource
+        from repro.channel import ChannelModel, Scene
+        from repro.fullduplex import FullDuplexConfig, FullDuplexLink
+        from repro.phy import PhyConfig
+        from repro.utils.rng import spawn_rngs
+
+        phy = PhyConfig(sample_rate_hz=32_000.0, bit_rate_bps=1_000.0)
+        cfg = FullDuplexConfig(phy=phy)
+        link = FullDuplexLink(cfg, ToneSource(sample_rate_hz=phy.sample_rate_hz))
+
+        frame_rngs, bit_rngs, frames = [], [], []
+        real_frame, real_bits = ber_mod.random_frame, ber_mod.random_bits
+
+        def spy_frame(payload_bytes, rng):
+            frame_rngs.append(rng)
+            frames.append(real_frame(payload_bytes, rng))
+            return frames[-1]
+
+        def spy_bits(rng, count):
+            bit_rngs.append(rng)
+            return real_bits(rng, count)
+
+        monkeypatch.setattr(ber_mod, "random_frame", spy_frame)
+        monkeypatch.setattr(ber_mod, "random_bits", spy_bits)
+        ber_mod.measure_frame_delivery(
+            link, ChannelModel(), Scene.two_device_line(0.5),
+            payload_bytes=8, trials=2, rng=0,
+        )
+        assert len(frame_rngs) == 2 and len(bit_rngs) == 2
+        for frame_rng, fb_rng in zip(frame_rngs, bit_rngs):
+            assert frame_rng is not fb_rng
+        # White-box layout check: trial i consumes children
+        # (channel, frame, feedback, run) of one 4-way spawn, so a
+        # shadow generator with the same seed must replay the frames.
+        shadow = np.random.default_rng(0)
+        for frame in frames:
+            _, expected_rng, _, _ = spawn_rngs(shadow, 4)
+            assert np.array_equal(
+                frame.payload_bits, real_frame(8, expected_rng).payload_bits
+            )
 
 
 class TestMonteCarloPlumbing:

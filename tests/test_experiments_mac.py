@@ -1,0 +1,318 @@
+"""MAC contention as a replicated trial kind.
+
+The load-bearing contracts: one trial is a pure function of
+``(spec, rng)`` (so serial == parallel bitwise), the policy arm is part
+of the spec, aggregates pool counts exactly, and the no-ARQ arm tracks
+the unslotted-ALOHA load curve within Wilson bounds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.contention import ContentionSummary, summarize_mac_table
+from repro.experiments import (
+    MAC_POLICY_KINDS,
+    ExperimentRunner,
+    ResultTable,
+    ScenarioSpec,
+    build_mac_policy,
+    get_scenario,
+    mac_aggregate,
+    mac_trial,
+    precision_budget,
+    run_mac_arms,
+)
+from repro.mac.arq import HalfDuplexArqPolicy, NoArqPolicy
+from repro.mac.fdmac import FullDuplexAbortPolicy
+from repro.mac.resume import ResumeFromAbortPolicy
+
+#: A cheap contention workload (short horizon, few links).
+FAST_MAC = ScenarioSpec(
+    name="fast-mac-test",
+    mac_num_links=3,
+    mac_arrival_rate_pps=0.3,
+    mac_payload_bytes=32,
+    mac_horizon_seconds=40.0,
+    mac_loss_probability=0.2,
+)
+
+#: Every key a MAC trial record carries.
+RECORD_KEYS = {
+    "offered_packets", "delivered_packets", "failed_packets", "attempts",
+    "aborted_attempts", "bits_transmitted", "payload_bits_delivered",
+    "tx_energy_joule", "total_energy_joule", "latency_sum_seconds",
+    "duration_seconds", "goodput_bps", "delivery_ratio", "abort_fraction",
+    "mean_latency_seconds", "energy_per_delivered_bit", "jain_fairness",
+}
+
+
+class TestMacTrial:
+    def test_record_shape_and_types(self):
+        record = mac_trial(FAST_MAC, np.random.default_rng(0))
+        assert set(record) == RECORD_KEYS
+        assert all(isinstance(v, (int, float)) for v in record.values())
+        assert all(math.isfinite(v) for v in record.values())
+        assert record["offered_packets"] > 0
+
+    def test_deterministic_given_rng_seed(self):
+        a = mac_trial(FAST_MAC, np.random.default_rng(3))
+        b = mac_trial(FAST_MAC, np.random.default_rng(3))
+        assert a == b
+
+    def test_policy_arm_changes_outcome(self):
+        no_arq = mac_trial(FAST_MAC.replace(mac_policy="no-arq"),
+                           np.random.default_rng(0))
+        fd = mac_trial(FAST_MAC.replace(mac_policy="fd-abort"),
+                       np.random.default_rng(0))
+        # Same seed -> same workload; the ARQ arm retries what the
+        # fire-and-forget arm loses.
+        assert no_arq["offered_packets"] == fd["offered_packets"]
+        assert fd["delivered_packets"] >= no_arq["delivered_packets"]
+        assert fd["attempts"] >= no_arq["attempts"]
+
+    def test_runs_through_runner_with_adaptive_stopping(self):
+        runner = ExperimentRunner(
+            trial=mac_trial, max_trials=20, min_trials=2,
+            stop_when=precision_budget(0.1),
+        )
+        table = runner.run(FAST_MAC, seed=0)
+        assert 2 <= len(table) < 20
+        assert table.metadata["stopped_early"]
+
+
+class TestSerialParallelEquivalence:
+    def test_mac_trial_bitwise_identical(self):
+        kwargs = dict(trial=mac_trial, max_trials=4)
+        serial = ExperimentRunner(workers=1, **kwargs).run(FAST_MAC, seed=11)
+        parallel = ExperimentRunner(workers=2, **kwargs).run(FAST_MAC, seed=11)
+        assert serial.records == parallel.records
+        assert parallel.metadata["workers"] == 2
+
+    def test_sweep_over_mac_knobs(self):
+        runner = ExperimentRunner(trial=mac_trial, max_trials=2)
+        table = runner.sweep(FAST_MAC, "mac_num_links", [2, 4], seed=0,
+                             aggregate=mac_aggregate)
+        assert table.column("mac_num_links") == [2, 4]
+        assert table.column("n_trials") == [2, 2]
+        # More contenders -> more offered packets network-wide.
+        offered = table.column("offered_packets")
+        assert offered[1] > offered[0]
+
+    def test_sweep_arrival_rate_raises_load(self):
+        runner = ExperimentRunner(trial=mac_trial, max_trials=2)
+        table = runner.sweep(
+            FAST_MAC, "mac_arrival_rate_pps", [0.1, 0.6], seed=1,
+            aggregate=mac_aggregate,
+        )
+        offered = table.column("offered_packets")
+        assert offered[1] > 2 * offered[0]
+
+
+class TestPolicyArms:
+    def test_every_arm_builds_with_matching_name(self):
+        for arm in MAC_POLICY_KINDS:
+            policy = build_mac_policy(FAST_MAC.replace(mac_policy=arm))
+            assert policy.name == arm
+
+    def test_arm_classes(self):
+        spec = FAST_MAC
+        assert isinstance(
+            build_mac_policy(spec.replace(mac_policy="no-arq")), NoArqPolicy
+        )
+        assert isinstance(
+            build_mac_policy(spec.replace(mac_policy="hd-arq")),
+            HalfDuplexArqPolicy,
+        )
+        fd = build_mac_policy(spec.replace(mac_policy="fd-abort"))
+        assert isinstance(fd, FullDuplexAbortPolicy)
+        assert not isinstance(fd, ResumeFromAbortPolicy)
+        assert isinstance(
+            build_mac_policy(spec.replace(mac_policy="fd-resume")),
+            ResumeFromAbortPolicy,
+        )
+
+    def test_fd_arms_inherit_scenario_knobs(self):
+        spec = FAST_MAC.replace(
+            asymmetry_ratio=16, mac_detection_latency_bits=4,
+            mac_max_retries=2,
+        )
+        policy = build_mac_policy(spec.replace(mac_policy="fd-abort"))
+        assert policy.asymmetry_ratio == 16
+        assert policy.detection_latency_bits == 4
+        assert policy.max_retries == 2
+
+    def test_spec_rejects_unknown_arm(self):
+        with pytest.raises(ValueError, match="mac_policy"):
+            FAST_MAC.replace(mac_policy="csma")
+
+    def test_run_mac_arms_rejects_runner_plus_kwargs(self):
+        runner = ExperimentRunner(trial=mac_trial, max_trials=1)
+        with pytest.raises(TypeError, match="not both"):
+            run_mac_arms(FAST_MAC, ("no-arq",), runner=runner, max_trials=5)
+
+    def test_run_mac_arms_pairs_workloads(self):
+        results = run_mac_arms(
+            FAST_MAC, ("no-arq", "fd-abort"), seed=5, max_trials=2
+        )
+        assert list(results) == ["no-arq", "fd-abort"]
+        # Paired seeding: identical arrival processes across arms.
+        assert (results["no-arq"].column("offered_packets")
+                == results["fd-abort"].column("offered_packets"))
+
+
+class TestAggregation:
+    def _table(self, records):
+        table = ResultTable()
+        table.extend(records)
+        return table
+
+    def _record(self, **overrides):
+        base = {key: 0 for key in RECORD_KEYS}
+        base.update(duration_seconds=10.0, **overrides)
+        return base
+
+    def test_pooled_counts_exact(self):
+        table = self._table([
+            self._record(offered_packets=10, delivered_packets=8,
+                         attempts=12, latency_sum_seconds=4.0,
+                         payload_bits_delivered=800,
+                         total_energy_joule=2e-6, goodput_bps=80.0),
+            self._record(offered_packets=30, delivered_packets=15,
+                         attempts=40, latency_sum_seconds=30.0,
+                         payload_bits_delivered=1500,
+                         total_energy_joule=6e-6, goodput_bps=150.0),
+        ])
+        s = summarize_mac_table(table)
+        assert s.trials == 2
+        assert s.offered_packets == 40
+        assert s.delivered_packets == 23
+        # Pooled, not mean-of-ratios: 23/40, not (0.8 + 0.5)/2.
+        assert s.delivery_ratio == pytest.approx(23 / 40)
+        assert s.delivery_lo < s.delivery_ratio < s.delivery_hi
+        assert s.mean_latency_seconds == pytest.approx(34.0 / 23)
+        assert s.energy_per_delivered_bit == pytest.approx(8e-6 / 2300)
+        assert s.goodput_bps == pytest.approx(115.0)
+
+    def test_empty_table_is_all_zero_with_vacuous_interval(self):
+        s = summarize_mac_table(self._table([]))
+        assert s.trials == 0
+        assert s.delivery_ratio == 0.0
+        assert (s.delivery_lo, s.delivery_hi) == (0.0, 1.0)
+        assert s.energy_per_delivered_bit == 0.0
+
+    def test_mac_aggregate_record_matches_summary(self):
+        runner = ExperimentRunner(trial=mac_trial, max_trials=2)
+        table = runner.run(FAST_MAC, seed=0)
+        record = mac_aggregate(table)
+        summary = summarize_mac_table(table)
+        assert record == summary.to_record()
+        assert isinstance(summary, ContentionSummary)
+
+
+class TestPrecisionBudget:
+    def test_stops_once_interval_is_tight(self):
+        loose = [{"delivered_packets": 4, "offered_packets": 5}]
+        tight = [{"delivered_packets": 800, "offered_packets": 1000}]
+        stop = precision_budget(0.05)
+        assert not stop(loose)
+        assert stop(tight)
+
+    def test_no_packets_never_stops(self):
+        stop = precision_budget(0.5)
+        assert not stop([{"delivered_packets": 0, "offered_packets": 0}])
+
+    def test_rejects_non_positive_halfwidth(self):
+        with pytest.raises(ValueError):
+            precision_budget(0.0)
+
+
+class TestContentionPresets:
+    @pytest.mark.parametrize("name", [
+        "sparse-mac", "dense-bursty-mac", "lossy-channel-mac",
+        "asymmetric-load-mac",
+    ])
+    def test_preset_builds_and_round_trips(self, name):
+        spec = get_scenario(name)
+        assert spec.name == name
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        spec.build_mac_config()  # validates the workload
+
+    def test_asymmetric_preset_spreads_link_rates(self):
+        cfg = get_scenario("asymmetric-load-mac").build_mac_config()
+        rates = cfg.link_arrival_rates()
+        assert max(rates) / min(rates) == pytest.approx(8.0)
+        assert sum(rates) / len(rates) == pytest.approx(
+            cfg.arrival_rate_pps
+        )
+
+
+# ---------------------------------------------------------------------------
+# ALOHA-theory cross-check.
+#
+# The no-ARQ arm with no channel loss is unslotted ALOHA over a finite
+# population: a tagged attempt survives iff no other link starts within
+# one packet airtime either side, so delivery ≈ exp(-2 G_other) with
+# G_other the realised offered load of the *other* N-1 links in packets
+# per airtime (the N → ∞ limit of which is
+# repro.analysis.theory.aloha_success_probability).  The pooled Wilson
+# interval over the offered-packet count is the acceptance band, with a
+# small slack for the queueing and horizon-edge effects the closed form
+# ignores.
+# ---------------------------------------------------------------------------
+
+ALOHA_SLACK = 0.04
+
+
+def _aloha_check(load: float, trials: int, seed: int) -> None:
+    num_links = 12
+    base = ScenarioSpec(
+        name="aloha-check",
+        mac_policy="no-arq",
+        mac_loss_probability=0.0,
+        mac_num_links=num_links,
+        mac_payload_bytes=32,
+        mac_horizon_seconds=150.0,
+        mac_arrival_rate_pps=1.0,  # replaced below
+    )
+    packet_seconds = base.build_mac_config().packet_seconds
+    spec = base.replace(
+        mac_arrival_rate_pps=load / (num_links * packet_seconds)
+    )
+    table = ExperimentRunner(trial=mac_trial, max_trials=trials).run(
+        spec, seed=seed
+    )
+    s = summarize_mac_table(table)
+    sim_seconds = trials * spec.mac_horizon_seconds
+    g_real = s.attempts * packet_seconds / sim_seconds
+    theory = math.exp(-2.0 * g_real * (num_links - 1) / num_links)
+    assert (s.delivery_lo - ALOHA_SLACK
+            <= theory
+            <= s.delivery_hi + ALOHA_SLACK), (load, theory, s)
+
+
+def test_noarq_tracks_aloha_smoke():
+    """Tier-1 smoke: one load point, one seed."""
+    _aloha_check(load=0.3, trials=2, seed=0)
+
+
+@pytest.mark.parametrize("arm", MAC_POLICY_KINDS)
+def test_single_seed_smoke_per_arm(arm):
+    """Tier-1: one replication of every policy arm through the runner."""
+    table = ExperimentRunner(trial=mac_trial, max_trials=1).run(
+        FAST_MAC.replace(mac_policy=arm), seed=0
+    )
+    record = table.records[0]
+    assert record["offered_packets"] > 0
+    assert 0.0 <= record["delivery_ratio"] <= 1.0
+    if arm == "no-arq":
+        assert record["attempts"] == record["offered_packets"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("load", [0.1, 0.5, 1.0])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_noarq_tracks_aloha_matrix(load, seed):
+    """Full replication matrix (CI "full" job only)."""
+    _aloha_check(load=load, trials=4, seed=seed)

@@ -178,3 +178,108 @@ class TestPolicies:
         p = FullDuplexAbortPolicy(asymmetry_ratio=64)
         assert p.feedback_slots(640) == 10
         assert NoArqPolicy().feedback_slots(640) == 0
+
+
+class TestAttemptStateIsolation:
+    """Regression: `_LinkRuntime` used to stash undeclared `_attempt` /
+    `_hooks` attributes in `_start_attempt`, so hooks could outlive the
+    attempt they were bound to.  Policies must always be called with
+    hooks whose `attempt` is the attempt the event was raised for, and
+    no hooks may leak across packets."""
+
+    class _RecordingPolicy(FullDuplexAbortPolicy):
+        def __init__(self):
+            super().__init__()
+            self.mismatches = 0
+            self.corruptions = 0
+            self.data_ends = 0
+
+        def on_corruption(self, hooks, attempt):
+            self.corruptions += 1
+            if hooks.attempt is not attempt:
+                self.mismatches += 1
+            super().on_corruption(hooks, attempt)
+
+        def on_data_end(self, hooks, attempt):
+            self.data_ends += 1
+            if hooks.attempt is not attempt:
+                self.mismatches += 1
+            super().on_data_end(hooks, attempt)
+
+    def test_hooks_always_bound_to_their_attempt(self):
+        policies = []
+
+        def factory():
+            policies.append(self._RecordingPolicy())
+            return policies[-1]
+
+        cfg = SimulationConfig(num_links=2, arrival_rate_pps=0.8,
+                               horizon_seconds=60.0, payload_bytes=32,
+                               loss=BernoulliLoss(0.6))
+        sim = NetworkSimulator(config=cfg, policy_factory=factory)
+        sim.run(rng=0)
+        assert sum(p.corruptions for p in policies) > 10  # retries happened
+        assert sum(p.data_ends for p in policies) > 10
+        assert all(p.mismatches == 0 for p in policies)
+
+    def test_back_to_back_packets_reset_attempt_state(self):
+        # Certain loss: every packet burns its full retry budget, then
+        # the next queued packet must start from a clean attempt slate.
+        cfg = SimulationConfig(num_links=1, arrival_rate_pps=0.4,
+                               horizon_seconds=80.0, payload_bytes=32,
+                               loss=BernoulliLoss(1.0))
+        sim = NetworkSimulator(
+            config=cfg,
+            policy_factory=lambda: HalfDuplexArqPolicy(max_retries=2),
+        )
+        metrics = sim.run(rng=2)
+        node = metrics.nodes[0]
+        assert node.offered_packets > 5
+        # 1 initial + 2 retries per packet — any cross-packet leak of
+        # attempt or retry state would break this exact count.
+        assert node.attempts == 3 * node.offered_packets
+        # No hooks survive past the last packet of any link.
+        assert all(link._hooks is None for link in sim.links)
+
+
+class TestLoadAsymmetry:
+    def test_rates_uniform_by_default(self):
+        cfg = SimulationConfig(num_links=4, arrival_rate_pps=0.5)
+        assert cfg.link_arrival_rates() == [0.5] * 4
+
+    def test_rates_spread_and_mean_preserved(self):
+        cfg = SimulationConfig(num_links=6, arrival_rate_pps=0.3,
+                               load_asymmetry=4.0)
+        rates = cfg.link_arrival_rates()
+        assert max(rates) / min(rates) == pytest.approx(4.0)
+        assert sum(rates) / 6 == pytest.approx(0.3)
+        assert rates == sorted(rates)
+
+    def test_single_link_ignores_asymmetry(self):
+        cfg = SimulationConfig(num_links=1, arrival_rate_pps=0.5,
+                               load_asymmetry=8.0)
+        assert cfg.link_arrival_rates() == [0.5]
+
+    def test_rejects_sub_unit_asymmetry(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(load_asymmetry=0.5)
+
+    def test_asymmetry_one_is_bitwise_identical(self):
+        cfg_a = SimulationConfig(num_links=3, arrival_rate_pps=0.4,
+                                 horizon_seconds=50.0)
+        cfg_b = SimulationConfig(num_links=3, arrival_rate_pps=0.4,
+                                 horizon_seconds=50.0, load_asymmetry=1.0)
+        a = NetworkSimulator(config=cfg_a, policy_factory=NoArqPolicy).run(rng=7)
+        b = NetworkSimulator(config=cfg_b, policy_factory=NoArqPolicy).run(rng=7)
+        assert a == b
+
+    def test_skewed_load_lowers_fairness(self):
+        base = dict(num_links=6, arrival_rate_pps=0.5,
+                    horizon_seconds=120.0, payload_bytes=32)
+        even = SimulationConfig(**base)
+        skewed = SimulationConfig(**base, load_asymmetry=16.0)
+        m_even = NetworkSimulator(config=even,
+                                  policy_factory=NoArqPolicy).run(rng=0)
+        m_skew = NetworkSimulator(config=skewed,
+                                  policy_factory=NoArqPolicy).run(rng=0)
+        assert m_skew.jain_fairness() < m_even.jain_fairness()

@@ -123,6 +123,50 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "fd-abort" in out and "goodput_bps" in out
+        assert "delivery_95ci" in out  # pooled Wilson bounds column
+
+    def test_mac_policy_subset_and_trials(self, capsys):
+        from repro.cli import main
+
+        code = main(["mac", "--links", "2", "--horizon", "15",
+                     "--load", "0.2", "--policy", "no-arq,fd-abort",
+                     "--trials", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no-arq" in out and "fd-abort" in out
+        assert "hd-arq" not in out
+
+    def test_mac_rejects_unknown_policy(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["mac", "--policy", "csma"])
+        assert exc_info.value.code == 2
+        assert "no-arq" in capsys.readouterr().err
+
+    def test_mac_scenario_preset(self, capsys):
+        from repro.cli import main
+
+        code = main(["mac", "--scenario", "sparse-mac", "--horizon", "20",
+                     "--policy", "no-arq", "--trials", "2"])
+        assert code == 0
+        assert "sparse-mac" in capsys.readouterr().out
+
+    def test_sweep_mac_metric(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        out_json = tmp_path / "mac_sweep.json"
+        code = main(["sweep", "--metric", "mac",
+                     "--param", "mac_num_links", "--values", "2,3",
+                     "--trials", "2", "--scenario", "sparse-mac",
+                     "--json", str(out_json)])
+        assert code == 0
+        data = json.loads(out_json.read_text())
+        assert [r["mac_num_links"] for r in data["records"]] == [2, 3]
+        assert all("delivery_lo" in r and "delivery_hi" in r
+                   for r in data["records"])
 
     def test_ber_runs_small(self, capsys):
         from repro.cli import main

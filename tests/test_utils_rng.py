@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import ensure_rng, random_bits, spawn_rngs
+from repro.utils.rng import (
+    _spawn_via_seed_sequence,
+    ensure_rng,
+    random_bits,
+    spawn_rngs,
+)
 
 
 class TestEnsureRng:
@@ -49,6 +54,50 @@ class TestSpawn:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+
+
+class TestSpawnFallback:
+    """The old-numpy path must be stream-equivalent to Generator.spawn.
+
+    Regression for the integer-draw fallback, whose children could
+    collide (birthday bound over 63-bit seeds) and which advanced the
+    parent's draw stream where ``Generator.spawn`` does not.
+    """
+
+    def test_children_match_generator_spawn(self):
+        via_spawn = np.random.default_rng(42)
+        via_fallback = np.random.default_rng(42)
+        kids_spawn = via_spawn.spawn(4)
+        kids_fallback = _spawn_via_seed_sequence(via_fallback, 4)
+        for a, b in zip(kids_spawn, kids_fallback):
+            assert np.array_equal(a.integers(0, 2**32, 16),
+                                  b.integers(0, 2**32, 16))
+
+    def test_parent_draw_stream_not_consumed(self):
+        pristine = np.random.default_rng(7)
+        spawned = np.random.default_rng(7)
+        _spawn_via_seed_sequence(spawned, 3)
+        assert np.array_equal(pristine.integers(0, 2**32, 16),
+                              spawned.integers(0, 2**32, 16))
+
+    def test_sequential_spawns_yield_fresh_children(self):
+        # Spawning twice must not reissue the same children (the spawn
+        # key advances), matching incremental Generator.spawn.
+        gen_a = np.random.default_rng(3)
+        gen_b = np.random.default_rng(3)
+        first = _spawn_via_seed_sequence(gen_a, 2)
+        second = _spawn_via_seed_sequence(gen_a, 2)
+        expected = gen_b.spawn(2) + gen_b.spawn(2)
+        got = [k.integers(0, 2**32, 8) for k in first + second]
+        want = [k.integers(0, 2**32, 8) for k in expected]
+        assert not np.array_equal(got[0], got[2])
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+    def test_children_are_pairwise_distinct(self):
+        kids = _spawn_via_seed_sequence(np.random.default_rng(0), 8)
+        draws = [tuple(k.integers(0, 2**32, 8)) for k in kids]
+        assert len(set(draws)) == len(draws)
 
 
 class TestRandomBits:
