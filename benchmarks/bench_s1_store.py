@@ -1,0 +1,136 @@
+"""S1 — Result store: cold vs warm campaign wall time, store overhead.
+
+The store's value proposition is that the *second* run of any campaign
+costs only disk reads: this bench runs a small real campaign cold, runs
+it again warm (asserting zero trials execute and the reports agree byte
+for byte), and reports the speedup.  It also measures the raw store
+overhead — put/get wall time per 1000 records — so the caching layer's
+own cost stays on the perf trajectory alongside the trial engines it
+amortises.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+import tempfile
+import time
+
+from common import run_and_emit, save_result
+
+from repro.analysis.reporting import format_table
+from repro.campaigns import CampaignRunner, CampaignSpec
+from repro.experiments import ResultTable, ScenarioSpec
+from repro.store import ResultStore, result_key
+
+#: Trial budget per campaign unit (4 distances x 1 kind = 4 units).
+TRIALS = 50
+SEED = 61
+
+#: Synthetic-table size for the raw put/get overhead measurement.
+OVERHEAD_RECORDS = 1000
+
+
+def _bench_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-s1-store",
+        description="store bench: forward BER over 4 ranges",
+        scenario="calibrated-default",
+        grid={"distance_m": (0.5, 1.0, 1.5, 2.0)},
+        kinds=("forward-ber",),
+        n_trials=TRIALS,
+        seed=SEED,
+    )
+
+
+def _store_overhead_ms(store: ResultStore) -> tuple[float, float]:
+    """(put, get) wall milliseconds per OVERHEAD_RECORDS records."""
+    table = ResultTable(metadata={"bench": "s1"})
+    table.extend(
+        {"trial": i, "errors": i % 3, "bits": 256, "ber": (i % 3) / 256}
+        for i in range(OVERHEAD_RECORDS)
+    )
+    key = result_key(
+        ScenarioSpec(name="bench-s1-overhead"),
+        "forward-ber", OVERHEAD_RECORDS, SEED,
+    )
+    start = time.perf_counter()
+    store.put(key, table)
+    put_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    loaded = store.get(key)
+    get_ms = (time.perf_counter() - start) * 1e3
+    assert len(loaded) == OVERHEAD_RECORDS
+    return put_ms, get_ms
+
+
+def run_s1() -> dict:
+    camp = _bench_campaign()
+    with tempfile.TemporaryDirectory() as root:
+        runner = CampaignRunner(store=ResultStore(root),
+                                backend="vectorized")
+        start = time.perf_counter()
+        cold = runner.run(camp)
+        cold_s = time.perf_counter() - start
+        report_cold = {
+            k: t.to_json() for k, t in runner.report(camp).items()
+        }
+        start = time.perf_counter()
+        warm = runner.run(camp)
+        warm_s = time.perf_counter() - start
+        report_warm = {
+            k: t.to_json() for k, t in runner.report(camp).items()
+        }
+        put_ms, get_ms = _store_overhead_ms(runner.store)
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "cold_trials": cold.trials_computed,
+        "warm_trials": warm.trials_computed,
+        "units": len(cold.units),
+        "reports_identical": report_cold == report_warm,
+        "put_ms_per_1k": put_ms,
+        "get_ms_per_1k": get_ms,
+    }
+
+
+def bench_s1_store(benchmark):
+    out = run_and_emit(
+        benchmark, "s1_store", run_s1,
+        trials=lambda o: o["cold_trials"],
+        scenario="calibrated-default", seed=SEED,
+        warm_s=lambda o: round(o["warm_s"], 6),
+        cache_speedup=lambda o: round(o["speedup"], 1),
+        units=lambda o: o["units"],
+        put_ms_per_1k_records=lambda o: round(o["put_ms_per_1k"], 3),
+        get_ms_per_1k_records=lambda o: round(o["get_ms_per_1k"], 3),
+    )
+    table = format_table(
+        ["metric", "value"],
+        [
+            ("cold campaign [s]", round(out["cold_s"], 4)),
+            ("warm campaign [s]", round(out["warm_s"], 4)),
+            ("cache speedup", round(out["speedup"], 1)),
+            ("trials cold/warm", f"{out['cold_trials']}/{out['warm_trials']}"),
+            ("put ms / 1k records", round(out["put_ms_per_1k"], 3)),
+            ("get ms / 1k records", round(out["get_ms_per_1k"], 3)),
+        ],
+    )
+    save_result("s1_store", table)
+
+    # Shape 1: the warm run executes zero trials and reports identically.
+    assert out["warm_trials"] == 0
+    assert out["reports_identical"]
+    # Shape 2: serving from the store beats recomputing decisively.
+    assert out["speedup"] > 5.0
+    # Shape 3: store overhead stays far below one trial's cost per
+    # record (sub-millisecond-per-record territory).
+    assert out["put_ms_per_1k"] < 1000.0
+    assert out["get_ms_per_1k"] < 1000.0
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps({k: str(v) for k, v in run_s1().items()}, indent=2))

@@ -18,11 +18,20 @@ Quickstart::
 Deployment scenes are declarative (:class:`repro.experiments.ScenarioSpec`)
 and named (``scenario_names()``); Monte-Carlo measurements run through
 :class:`repro.experiments.ExperimentRunner`, serially or across a
-process pool with bitwise-identical results.
+process pool with bitwise-identical results.  Results persist in a
+content-addressed store (:class:`repro.store.ResultStore`) and the
+paper's figures are named, resumable campaigns
+(:mod:`repro.campaigns`, ``repro campaign run/status/report``).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
+
+#: Folded into every result-store key (repro.store.CODE_VERSION): bump
+#: on any change that alters simulation output, so stale cached results
+#: stop being addressable.  Defined before the subpackage imports below
+#: because repro.store reads it at import time.
+__version__ = "1.1.0"
 
 from repro.ambient import (
     AmbientSource,
@@ -78,15 +87,17 @@ from repro.phy import (
     Frame,
     PhyConfig,
 )
+from repro.campaigns import CampaignRunner, CampaignSpec, campaign_names, get_campaign
 from repro.phy.framing import random_frame
+from repro.store import ResultStore, cached_run
 from repro.utils.rng import random_bits
-
-__version__ = "1.0.0"
 
 __all__ = [
     "AmbientSource",
     "BackscatterReceiver",
     "BackscatterTransmitter",
+    "CampaignRunner",
+    "CampaignSpec",
     "ChannelModel",
     "EnergyHarvester",
     "EnergyLedger",
@@ -113,6 +124,7 @@ __all__ = [
     "RateAdapter",
     "RayleighFading",
     "ReflectionStates",
+    "ResultStore",
     "ResultTable",
     "RicianFading",
     "ScenarioSpec",
@@ -122,6 +134,9 @@ __all__ = [
     "TagFrontEnd",
     "ToneSource",
     "TwoRayGroundPathLoss",
+    "cached_run",
+    "campaign_names",
+    "get_campaign",
     "get_scenario",
     "random_bits",
     "random_frame",

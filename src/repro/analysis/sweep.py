@@ -1,28 +1,103 @@
-"""Parameter sweeps producing report-ready rows."""
+"""Legacy sweep shim, re-platformed on :class:`ResultTable`.
+
+:class:`Sweep1D` predates the experiments API; since the result store
+landed there is exactly one table shape in the codebase —
+:class:`repro.experiments.results.ResultTable` — and this module keeps
+the historical sweep interface alive as a thin veneer over it.  Every
+``Sweep1D`` *is* a ``ResultTable`` underneath (``.table``), so existing
+consumers keep working while new code should use
+:meth:`ExperimentRunner.sweep <repro.experiments.runner.ExperimentRunner.sweep>`
+or build tables directly.
+
+Both entry points emit :class:`DeprecationWarning`; the shim (not the
+behaviour) is scheduled to go once nothing in-tree constructs one.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Callable
 
+from repro.experiments.results import ResultTable
 
-@dataclass
+_DEPRECATION = (
+    "Sweep1D is deprecated: it is now a shim over "
+    "repro.experiments.results.ResultTable (the single table shape); "
+    "use ExperimentRunner.sweep or ResultTable directly"
+)
+
+
 class Sweep1D:
-    """One-dimensional sweep result.
+    """One-dimensional sweep result (legacy interface).
 
     Attributes
     ----------
     parameter:
         Swept parameter name (e.g. ``"distance_m"``).
-    values:
-        Swept values in run order.
-    columns:
-        Metric name → list of measured values (parallel to ``values``).
+    table:
+        The backing :class:`ResultTable`: one record per sweep point,
+        first column the parameter, metadata carrying ``parameter``.
+    values / columns:
+        The historical views, derived from ``table``: swept values in
+        run order, and metric name → list of measured values.  These
+        are read-only *snapshots* now — mutate via :meth:`add_point`
+        (or the table), not by appending to the returned lists.
+
+    The historical dataclass fields ``values=``/``columns=`` are still
+    accepted by the constructor (they seed the backing table).
     """
 
-    parameter: str
-    values: list = field(default_factory=list)
-    columns: dict[str, list] = field(default_factory=dict)
+    def __init__(
+        self,
+        parameter: str,
+        table: ResultTable | None = None,
+        values=None,
+        columns=None,
+    ):
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        if table is not None and (values is not None or columns is not None):
+            raise TypeError(
+                "pass either table or the legacy values/columns, not both"
+            )
+        self.parameter = parameter
+        if table is None:
+            table = ResultTable(metadata={"parameter": parameter})
+            for i, value in enumerate(values or []):
+                table.append(
+                    {
+                        parameter: value,
+                        **{
+                            name: series[i]
+                            for name, series in (columns or {}).items()
+                        },
+                    }
+                )
+        elif table.columns and table.columns[0] != parameter:
+            raise ValueError(
+                f"table's first column is {table.columns[0]!r}, "
+                f"expected the swept parameter {parameter!r}"
+            )
+        self.table = table
+
+    # -- the historical views ------------------------------------------------
+
+    @property
+    def values(self) -> list:
+        """Swept values in run order."""
+        if not self.table.columns:
+            return []
+        return self.table.column(self.parameter)
+
+    @property
+    def columns(self) -> dict[str, list]:
+        """Metric name → list of measured values (parallel to values)."""
+        return {
+            name: self.table.column(name)
+            for name in self.table.columns
+            if name != self.parameter
+        }
+
+    # -- the historical interface --------------------------------------------
 
     def add_point(self, value, **metrics) -> None:
         """Append one sweep point with its metric values.
@@ -30,39 +105,48 @@ class Sweep1D:
         Every point after the first must supply exactly the metric names
         the first point established — a missing or brand-new name would
         leave ragged columns, so both raise :class:`ValueError` before
-        any state is mutated.
+        any state is mutated (the same contract ``ResultTable.append``
+        enforces, with the sweep's historical messages).
         """
-        if self.columns:
-            new = sorted(set(metrics) - set(self.columns))
+        if self.parameter in metrics:
+            # The record is one flat dict, so a metric named after the
+            # swept parameter would overwrite the swept value (the old
+            # dataclass "accepted" this but produced duplicate headers
+            # and misaligned rows).
+            raise ValueError(
+                f"metric name {self.parameter!r} collides with the "
+                f"swept parameter"
+            )
+        if self.table.columns:
+            known = set(self.table.columns) - {self.parameter}
+            new = sorted(set(metrics) - known)
             if new:
                 raise ValueError(
                     f"unknown metric(s) {new} at value {value!r}; "
-                    f"the sweep records {sorted(self.columns)}"
+                    f"the sweep records {sorted(known)}"
                 )
-            for name in self.columns:
+            for name in known:
                 if name not in metrics:
                     raise ValueError(
                         f"metric {name!r} missing at value {value!r}"
                     )
-        self.values.append(value)
-        for name, metric in metrics.items():
-            self.columns.setdefault(name, []).append(metric)
+        self.table.append({self.parameter: value, **metrics})
 
     def column(self, name: str) -> list:
         """One metric's series across the sweep."""
-        return list(self.columns[name])
+        if name == self.parameter:
+            raise KeyError(name)
+        return self.table.column(name)
 
     def rows(self) -> list[tuple]:
         """``(value, *metrics)`` tuples in column order, for tables."""
-        names = list(self.columns)
-        return [
-            (v, *(self.columns[n][i] for n in names))
-            for i, v in enumerate(self.values)
-        ]
+        return self.table.rows()
 
     def header(self) -> list[str]:
         """Column headers matching :meth:`rows`."""
-        return [self.parameter, *self.columns.keys()]
+        if not self.table.columns:
+            return [self.parameter]
+        return list(self.table.columns)
 
 
 def sweep1d(
@@ -70,8 +154,17 @@ def sweep1d(
     values,
     fn: Callable[[object], dict],
 ) -> Sweep1D:
-    """Evaluate ``fn(value) -> {metric: number}`` at each value."""
-    sweep = Sweep1D(parameter=parameter)
+    """Evaluate ``fn(value) -> {metric: number}`` at each value.
+
+    Deprecated with :class:`Sweep1D`; new code should call
+    :meth:`ExperimentRunner.sweep
+    <repro.experiments.runner.ExperimentRunner.sweep>` or append to a
+    :class:`~repro.experiments.results.ResultTable` directly.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        sweep = Sweep1D(parameter=parameter)
+    warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
     for value in values:
         sweep.add_point(value, **fn(value))
     return sweep

@@ -1,0 +1,50 @@
+"""Named, resumable, store-backed measurement campaigns.
+
+A *campaign* is the unit of reproduction one paper figure needs: a
+declarative grid of scenario knobs × trial kinds × policy arms
+(:class:`CampaignSpec`), executed store-first by
+:class:`CampaignRunner` so that re-runs are cache hits, killed runs
+resume where they stopped, and a raised trial budget tops up every
+stored prefix instead of recomputing it.  The built-ins
+(``fig-ber-vs-distance``, ``fig-goodput-vs-load``,
+``fig-energy-vs-range``) reproduce the paper's core results end to end;
+``repro campaign run/status/report`` is the CLI surface.
+
+Quickstart::
+
+    from repro.campaigns import CampaignRunner, get_campaign
+    from repro.store import ResultStore
+
+    runner = CampaignRunner(store=ResultStore("/tmp/mystore"), workers=4)
+    result = runner.run(get_campaign("fig-ber-vs-distance"))
+    print(result.outcome_counts())         # e.g. {"miss": 12}
+    for kind, table in runner.report(get_campaign("fig-ber-vs-distance")).items():
+        print(kind); print(table.format())
+"""
+
+from repro.campaigns.builtin import (
+    campaign,
+    campaign_names,
+    describe_campaigns,
+    get_campaign,
+    register_campaign,
+)
+from repro.campaigns.runner import (
+    CampaignRunner,
+    CampaignRunResult,
+    MissingUnitsError,
+)
+from repro.campaigns.spec import CampaignSpec, CampaignUnit
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignRunResult",
+    "CampaignSpec",
+    "CampaignUnit",
+    "MissingUnitsError",
+    "campaign",
+    "campaign_names",
+    "describe_campaigns",
+    "get_campaign",
+    "register_campaign",
+]

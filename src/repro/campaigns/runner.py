@@ -1,0 +1,297 @@
+"""Campaign execution: store-first dispatch, checkpoints, reports.
+
+:class:`CampaignRunner` walks a campaign's units in declaration order
+and satisfies each one through :func:`repro.store.cached_run` — so a
+re-run is pure cache hits, a killed run resumes for free (the store
+*is* the durable state; the checkpoint file is bookkeeping for
+``status`` and CI artifacts), and raising ``--trials`` tops every unit
+up from its stored prefix instead of recomputing it.
+
+``report`` renders the campaign's aggregate tables **from the store
+alone** — it never computes trials, and complains precisely about
+what is missing.  Because stored tables are canonical (backend- and
+history-independent bytes) and aggregation is deterministic, a
+campaign reported twice produces bitwise-identical output.
+
+Checkpoint format (``<store>/campaigns/<name>.json``)::
+
+    {
+      "campaign": <CampaignSpec.to_dict()>,
+      "run": {"n_trials": …, "seed": …, "code_version": …},
+      "total": N, "completed": k,
+      "units": {
+        "<digest>": {"label": …, "kind": …, "arm": …, "point": {…},
+                     "outcome": "hit|truncated|topup|miss",
+                     "trials_computed": …, "n_trials": …}
+      }
+    }
+
+A checkpoint whose ``campaign``/``run`` fingerprint does not match the
+requested run is stale (the campaign definition or budget changed) and
+is discarded — cheaply, since matching store entries still hit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.campaigns.spec import CampaignSpec, CampaignUnit
+from repro.experiments import TRIAL_AGGREGATES, TRIAL_KINDS, ExperimentRunner
+from repro.experiments.results import ResultTable
+from repro.store.cache import CachedRun, cached_run
+from repro.store.keys import CODE_VERSION
+from repro.store.store import ResultStore, _atomic_write
+
+
+class MissingUnitsError(RuntimeError):
+    """Raised by ``report`` when the store lacks some campaign units."""
+
+    def __init__(self, missing: list[CampaignUnit]) -> None:
+        self.missing = missing
+        labels = ", ".join(u.label() for u in missing[:5])
+        more = f" (+{len(missing) - 5} more)" if len(missing) > 5 else ""
+        super().__init__(
+            f"{len(missing)} campaign unit(s) not in the store: "
+            f"{labels}{more}; run the campaign first"
+        )
+
+
+@dataclass
+class CampaignRunResult:
+    """Outcome of one ``CampaignRunner.run`` invocation.
+
+    Attributes
+    ----------
+    campaign / n_trials / seed:
+        What ran, at which budget and root seed.
+    units:
+        ``(unit, cached_run outcome)`` pairs in execution order.
+    """
+
+    campaign: CampaignSpec
+    n_trials: int
+    seed: int
+    units: list = field(default_factory=list)
+
+    @property
+    def trials_computed(self) -> int:
+        """Trials actually executed (0 ⇒ the run was pure cache hits)."""
+        return sum(r.trials_computed for _, r in self.units)
+
+    def outcome_counts(self) -> dict[str, int]:
+        """``outcome → unit count`` over the whole run."""
+        counts: dict[str, int] = {}
+        for _, r in self.units:
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
+        return counts
+
+
+@dataclass
+class CampaignRunner:
+    """Runs, inspects and reports campaigns against one result store.
+
+    Attributes
+    ----------
+    store:
+        The :class:`~repro.store.store.ResultStore` consulted before any
+        trial is dispatched.
+    workers / backend:
+        Execution knobs forwarded to each unit's
+        :class:`~repro.experiments.runner.ExperimentRunner`.  A
+        ``"vectorized"`` request silently falls back to the default
+        backend for kinds without a batched implementation (``mac``,
+        ``energy``) — backends do not change results, only speed.
+    """
+
+    store: ResultStore
+    workers: int = 1
+    backend: str | None = None
+
+    # -- unit plumbing -------------------------------------------------------
+
+    def _backend_for(self, kind: str) -> str | None:
+        if self.backend != "vectorized":
+            return self.backend
+        from repro.experiments.batch import batched_trial_for
+
+        try:
+            batched_trial_for(TRIAL_KINDS[kind])
+        except ValueError:
+            return None
+        return "vectorized"
+
+    def runner_for(self, unit: CampaignUnit) -> ExperimentRunner:
+        """The fixed-budget runner executing ``unit`` on a miss/top-up."""
+        return ExperimentRunner(
+            trial=TRIAL_KINDS[unit.kind],
+            max_trials=unit.n_trials,
+            workers=self.workers,
+            backend=self._backend_for(unit.kind),
+        )
+
+    def checkpoint_path(self, campaign: CampaignSpec):
+        """Where this campaign's checkpoint lives in the store."""
+        return self.store.campaign_dir() / f"{campaign.name}.json"
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        campaign: CampaignSpec,
+        *,
+        n_trials: int | None = None,
+        seed: int | None = None,
+        progress=None,
+    ) -> CampaignRunResult:
+        """Execute every unit, store-first, checkpointing as it goes.
+
+        ``progress`` (optional callable) receives one
+        ``(unit, CachedRun)`` pair per completed unit — the CLI's
+        live ticker.  Killable at any point: completed units are in the
+        store, and the next invocation reuses them as exact hits.
+        """
+        units = campaign.units(n_trials=n_trials, seed=seed)
+        result = CampaignRunResult(
+            campaign=campaign,
+            n_trials=units[0].n_trials,
+            seed=units[0].seed,
+        )
+        fingerprint = self._fingerprint(campaign, result)
+        state = self._load_checkpoint(campaign, fingerprint)
+        for unit in units:
+            outcome = cached_run(
+                self.store, self.runner_for(unit), unit.spec, seed=unit.seed
+            )
+            result.units.append((unit, outcome))
+            state["units"][outcome.key.digest] = {
+                "label": unit.label(),
+                "kind": unit.kind,
+                "arm": unit.arm,
+                "point": dict(unit.point),
+                "outcome": outcome.outcome,
+                "trials_computed": outcome.trials_computed,
+                "n_trials": unit.n_trials,
+            }
+            state["total"] = len(units)
+            state["completed"] = len(result.units)
+            _atomic_write(
+                self.checkpoint_path(campaign),
+                json.dumps(state, indent=2) + "\n",
+            )
+            if progress is not None:
+                progress(unit, outcome)
+        return result
+
+    def _fingerprint(self, campaign, result) -> dict:
+        return {
+            "campaign": campaign.to_dict(),
+            "run": {
+                "n_trials": result.n_trials,
+                "seed": result.seed,
+                "code_version": CODE_VERSION,
+            },
+        }
+
+    def _load_checkpoint(self, campaign, fingerprint) -> dict:
+        path = self.checkpoint_path(campaign)
+        if path.is_file():
+            try:
+                state = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                state = None
+            if (
+                state
+                and state.get("campaign") == fingerprint["campaign"]
+                and state.get("run") == fingerprint["run"]
+            ):
+                return state
+        return {**fingerprint, "total": 0, "completed": 0, "units": {}}
+
+    # -- inspection ----------------------------------------------------------
+
+    def status(
+        self,
+        campaign: CampaignSpec,
+        *,
+        n_trials: int | None = None,
+        seed: int | None = None,
+    ) -> dict:
+        """What the store already holds for this campaign, per kind.
+
+        Pure inspection — touches no trial.  ``cached`` units are exact
+        hits; ``reusable`` units have a stored prefix (or superset) of
+        the same trial sequence, so running them costs only a top-up or
+        a truncation; ``missing`` units would run cold.
+        """
+        units = campaign.units(n_trials=n_trials, seed=seed)
+        per_kind: dict[str, dict] = {}
+        for unit in units:
+            slot = per_kind.setdefault(
+                unit.kind, {"cached": 0, "reusable": 0, "missing": 0}
+            )
+            key = unit.key()
+            if self.store.has(key):
+                slot["cached"] += 1
+            elif self.store.stored_budgets(key):
+                slot["reusable"] += 1
+            else:
+                slot["missing"] += 1
+        totals = {
+            label: sum(slot[label] for slot in per_kind.values())
+            for label in ("cached", "reusable", "missing")
+        }
+        return {
+            "campaign": campaign.name,
+            "n_trials": units[0].n_trials,
+            "seed": units[0].seed,
+            "total_units": len(units),
+            "per_kind": per_kind,
+            "checkpoint": self.checkpoint_path(campaign).is_file(),
+            **totals,
+        }
+
+    def report(
+        self,
+        campaign: CampaignSpec,
+        *,
+        n_trials: int | None = None,
+        seed: int | None = None,
+    ) -> dict[str, ResultTable]:
+        """Aggregate tables per trial kind, from the store alone.
+
+        One row per (grid point × arm): the grid coordinates, the arm,
+        the kind's exact pooled aggregate
+        (:data:`repro.experiments.TRIAL_AGGREGATES`) and the realised
+        trial count.  Deterministic bytes for a given store state —
+        running a campaign twice and reporting after each run yields
+        identical output.
+        """
+        units = campaign.units(n_trials=n_trials, seed=seed)
+        missing = [u for u in units if not self.store.has(u.key())]
+        if missing:
+            raise MissingUnitsError(missing)
+        tables: dict[str, ResultTable] = {}
+        for unit in units:
+            stored = self.store.get(unit.key())
+            aggregate = TRIAL_AGGREGATES[unit.kind]
+            record = {
+                **dict(unit.point),
+                "arm": unit.arm,
+                **aggregate(stored),
+                "n_trials": len(stored),
+            }
+            table = tables.get(unit.kind)
+            if table is None:
+                table = tables[unit.kind] = ResultTable(
+                    metadata={
+                        "campaign": campaign.name,
+                        "kind": unit.kind,
+                        "n_trials": unit.n_trials,
+                        "seed": unit.seed,
+                        "code_version": CODE_VERSION,
+                        "scenario": campaign.scenario,
+                    }
+                )
+            table.append(record)
+        return tables

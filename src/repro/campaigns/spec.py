@@ -1,0 +1,233 @@
+"""Declarative measurement campaigns: a named grid of experiment units.
+
+A :class:`CampaignSpec` describes everything a paper figure needs in
+one record: a base scenario, an n-dimensional grid of scenario knobs,
+the trial kinds to measure at every grid point, policy/config *arms* to
+compare side by side, and a trial budget and root seed.  Expanding the
+spec yields a flat list of :class:`CampaignUnit`\\ s — each one exactly
+the fixed-budget runner request the result store knows how to address
+(:func:`repro.store.result_key`), so a campaign is precisely "a named
+set of store entries plus how to compute the missing ones".
+
+Seeding policy: **every unit runs the campaign's root seed.**  Two
+consequences, both deliberate:
+
+* arms are *paired* — at a given grid point every arm faces the same
+  per-trial random draws until its policy first acts differently (the
+  same common-random-numbers design as
+  :func:`repro.experiments.mac.run_mac_arms`), which slashes the
+  variance of arm-to-arm contrasts;
+* unit identity is campaign-independent — a unit's store key does not
+  know which campaign asked for it, so overlapping campaigns (or a
+  campaign and a plain ``repro sweep``) share cache entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field, fields
+
+from repro.experiments import TRIAL_KINDS
+from repro.experiments.registry import get_scenario
+from repro.experiments.spec import ScenarioSpec
+from repro.store.keys import ResultKey, result_key
+from repro.utils.validation import check_positive
+
+#: Legal campaign names: a filename-safe token (no path separators, no
+#: leading dot), because the checkpoint is filed under the name.
+_NAME_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*")
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One store-addressable cell of a campaign.
+
+    Attributes
+    ----------
+    kind:
+        Trial kind name (a :data:`repro.experiments.TRIAL_KINDS` key).
+    arm:
+        Arm name ("default" for single-arm campaigns).
+    point:
+        The grid assignment, as ``((param, value), …)`` in grid order.
+    spec:
+        The fully resolved scenario this unit runs.
+    n_trials / seed:
+        The fixed budget and root seed (identical across arms).
+    """
+
+    kind: str
+    arm: str
+    point: tuple
+    spec: ScenarioSpec
+    n_trials: int
+    seed: int
+
+    def key(self, code_version: str | None = None) -> ResultKey:
+        """This unit's content address in the result store."""
+        return result_key(
+            self.spec, self.kind, self.n_trials, self.seed, code_version
+        )
+
+    def label(self) -> str:
+        """Human-readable one-liner (for status/progress output)."""
+        coords = ", ".join(f"{p}={v}" for p, v in self.point)
+        return f"{self.kind}[{self.arm}]({coords})"
+
+
+@dataclass
+class CampaignSpec:
+    """A named, declarative multi-dimensional measurement campaign.
+
+    Attributes
+    ----------
+    name / description:
+        Identification (campaign checkpoints are filed under ``name``).
+    scenario:
+        Registry name of the base scenario.
+    overrides:
+        Spec fields applied on top of the base scenario for every unit.
+    grid:
+        ``param → sequence of values``; units are the full cartesian
+        product, rightmost parameter fastest (insertion order).  An
+        empty grid means one point (the base scenario itself).
+    kinds:
+        Trial kinds measured at every grid point.
+    arms:
+        ``arm name → spec overrides`` compared side by side at every
+        grid point (e.g. ``{"hd-arq": {"mac_policy": "hd-arq"}, …}``).
+        Defaults to one ``"default"`` arm with no overrides.
+    n_trials / seed:
+        Fixed per-unit trial budget and the shared root seed.
+    """
+
+    name: str
+    description: str = ""
+    scenario: str = "calibrated-default"
+    overrides: dict = field(default_factory=dict)
+    grid: dict = field(default_factory=dict)
+    kinds: tuple = ("forward-ber",)
+    arms: dict = field(default_factory=dict)
+    n_trials: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # The name becomes the checkpoint filename under the store's
+        # campaigns/ directory, so it must not be able to traverse out
+        # of it (a from_dict round trip may carry untrusted JSON).
+        if not _NAME_PATTERN.fullmatch(self.name or ""):
+            raise ValueError(
+                f"campaign name {self.name!r} must match "
+                f"{_NAME_PATTERN.pattern} (it names the checkpoint file)"
+            )
+        check_positive("n_trials", self.n_trials)
+        self.kinds = tuple(self.kinds)
+        unknown = [k for k in self.kinds if k not in TRIAL_KINDS]
+        if unknown:
+            raise ValueError(
+                f"unknown trial kind(s) {unknown}; "
+                f"choose from {sorted(TRIAL_KINDS)}"
+            )
+        if not self.kinds:
+            raise ValueError("a campaign needs at least one trial kind")
+        spec_fields = {f.name for f in fields(ScenarioSpec)}
+        bad = sorted(set(self.grid) - spec_fields)
+        if bad:
+            raise ValueError(
+                f"grid parameter(s) {bad} are not ScenarioSpec fields"
+            )
+        # Copy every container in: the dataclass would otherwise hold
+        # (and normalise) the caller's dicts by reference.
+        grid = {}
+        for param, values in self.grid.items():
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"grid parameter {param!r} has no values")
+            grid[param] = values
+        self.grid = grid
+        self.overrides = dict(self.overrides)
+        self.arms = (
+            {arm: dict(o) for arm, o in self.arms.items()}
+            if self.arms
+            else {"default": {}}
+        )
+
+    # -- expansion -----------------------------------------------------------
+
+    def base_spec(self) -> ScenarioSpec:
+        """The resolved base scenario (registry preset + overrides)."""
+        base = get_scenario(self.scenario)
+        return base.replace(**self.overrides) if self.overrides else base
+
+    def points(self) -> list[tuple]:
+        """Grid assignments ``((param, value), …)``, rightmost fastest."""
+        params = list(self.grid)
+        if not params:
+            return [()]
+        return [
+            tuple(zip(params, combo))
+            for combo in itertools.product(
+                *(self.grid[p] for p in params)
+            )
+        ]
+
+    def units(
+        self, *, n_trials: int | None = None, seed: int | None = None
+    ) -> list[CampaignUnit]:
+        """Expand into store-addressable units (kind → point → arm).
+
+        ``n_trials``/``seed`` override the campaign defaults — how the
+        CLI's ``--trials``/``--seed`` scale a whole campaign up or down
+        without editing it (a topped-up budget reuses every stored
+        prefix).
+        """
+        budget = self.n_trials if n_trials is None else n_trials
+        check_positive("n_trials", budget)
+        root = self.seed if seed is None else seed
+        base = self.base_spec()
+        out = []
+        for kind in self.kinds:
+            for point in self.points():
+                for arm, arm_overrides in self.arms.items():
+                    changes = {**arm_overrides, **dict(point)}
+                    out.append(
+                        CampaignUnit(
+                            kind=kind,
+                            arm=arm,
+                            point=point,
+                            spec=(
+                                base.replace(**changes) if changes else base
+                            ),
+                            n_trials=budget,
+                            seed=root,
+                        )
+                    )
+        return out
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready dict (the checkpoint's campaign fingerprint)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "scenario": self.scenario,
+            "overrides": dict(self.overrides),
+            "grid": {p: list(v) for p, v in self.grid.items()},
+            "kinds": list(self.kinds),
+            "arms": {a: dict(o) for a, o in self.arms.items()},
+            "n_trials": self.n_trials,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown CampaignSpec fields: {sorted(unknown)}"
+            )
+        return cls(**data)

@@ -11,6 +11,14 @@ flags::
     python -m repro mac --scenario dense-mac # protocol comparison table
     python -m repro sweep --param distance_m --values 0.5,1,2 \\
         --metric forward-ber --workers 4     # registry-driven sweep
+    python -m repro campaign run fig-ber-vs-distance --workers 4
+    python -m repro campaign report fig-ber-vs-distance
+
+Campaigns persist through the content-addressed result store
+(``~/.cache/repro`` by default; override with ``--store PATH`` or
+``$REPRO_STORE``): a re-run is pure cache hits, a killed run resumes
+where it stopped, and ``--trials`` tops stored prefixes up instead of
+recomputing them.
 
 The CLI exists so a downstream user can sanity-check an install and
 explore the headline trade-offs before touching the API.
@@ -83,21 +91,6 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  ambient over noise: {report.ambient_over_noise_db:.0f} dB")
     print(f"  healthy          : {report.healthy()}")
     return 0
-
-
-def _ber_aggregate(table) -> dict:
-    """Collapse per-trial error tallies into one rate record.
-
-    The sweep driver stamps ``n_trials`` onto each point itself, so the
-    aggregate only reports the error statistics.
-    """
-    errors = int(table.sum("errors"))
-    bits = int(table.sum("bits"))
-    return {
-        "errors": errors,
-        "bits": bits,
-        "rate": errors / bits if bits else 0.0,
-    }
 
 
 def cmd_ber(args: argparse.Namespace) -> int:
@@ -222,13 +215,28 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
-#: CLI metric name → trial function name exported by repro.experiments.
-SWEEP_METRICS = {
-    "forward-ber": "forward_ber_trial",
-    "feedback-ber": "feedback_ber_trial",
-    "frame-delivery": "frame_delivery_trial",
-    "mac": "mac_trial",
-}
+#: CLI metric names — the shared trial-kind vocabulary (the same names
+#: key the campaign layer and the result store; see
+#: :data:`repro.experiments.TRIAL_KINDS`).  Listed statically so parser
+#: construction does not import the experiments package;
+#: tests/test_campaigns.py asserts the two stay equal.
+SWEEP_METRICS = (
+    "forward-ber",
+    "feedback-ber",
+    "frame-delivery",
+    "energy",
+    "mac",
+)
+
+#: Metric names whose records carry ``errors``/``bits`` tallies — the
+#: kinds an error-budget stop rule applies to.
+ERROR_METRICS = ("forward-ber", "feedback-ber", "frame-delivery")
+
+#: Metric names with a batched implementation registered in
+#: :mod:`repro.experiments.batch` (kept in sync with its
+#: ``_BATCH_TRIALS`` table; the others are event-driven or
+#: energy-accounted trials with no lane-stackable hot loop).
+VECTORIZABLE_METRICS = ERROR_METRICS
 
 
 def _parse_sweep_values(parameter: str, text: str) -> list:
@@ -269,30 +277,35 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Sweep one scenario knob, printing (and optionally saving) a table."""
     import pathlib
 
-    import repro.experiments as experiments
-    from repro.experiments import ExperimentRunner, error_budget, mac_aggregate
+    from repro.experiments import (
+        TRIAL_AGGREGATES,
+        TRIAL_KINDS,
+        ExperimentRunner,
+        error_budget,
+    )
 
     spec = _load_spec(args)
     values = _parse_sweep_values(args.param, args.values)
     for value in values:  # reject bad knob values before spending trials
         _replace_or_exit(spec, **{args.param: value})
-    trial = getattr(experiments, SWEEP_METRICS[args.metric])
-    # MAC records carry packet counts, not error/bit tallies: they pool
-    # through the contention aggregate and have no error budget to stop
-    # on (every replication is a fixed-horizon simulation).
-    is_mac = args.metric == "mac"
-    if is_mac and args.backend == "vectorized":
+    trial = TRIAL_KINDS[args.metric]
+    # Only the error/bit-tally kinds have an error budget to stop on;
+    # MAC replications are fixed-horizon simulations and energy trials
+    # carry joule columns, so both always run the full budget.
+    has_error_budget = args.metric in ERROR_METRICS
+    if args.backend == "vectorized" and args.metric not in VECTORIZABLE_METRICS:
         raise _cli_error(
-            "the mac metric has no vectorized backend (event-driven "
-            "trials have no lane-stackable hot loop); use serial or "
-            "parallel"
+            f"the {args.metric} metric has no vectorized backend "
+            "(no lane-stackable hot loop); use serial or parallel"
         )
-    aggregate = mac_aggregate if is_mac else _ber_aggregate
+    aggregate = TRIAL_AGGREGATES[args.metric]
     try:
         runner = ExperimentRunner(
             trial=trial, max_trials=args.trials,
             min_trials=min(5, args.trials),
-            stop_when=None if is_mac else error_budget(args.min_errors),
+            stop_when=(
+                error_budget(args.min_errors) if has_error_budget else None
+            ),
             workers=args.workers,
             backend=args.backend,
         )
@@ -310,6 +323,116 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         pathlib.Path(args.csv).write_text(table.to_csv())
         print(f"wrote {args.csv}")
+    return 0
+
+
+def _get_campaign_or_exit(name: str):
+    from repro.campaigns import get_campaign
+
+    try:
+        return get_campaign(name)
+    except ValueError as exc:
+        raise _cli_error(exc) from None
+
+
+def _campaign_runner(args):
+    from repro.campaigns import CampaignRunner
+    from repro.store import ResultStore
+
+    return CampaignRunner(
+        store=ResultStore(args.store),
+        workers=getattr(args, "workers", 1),
+        backend=getattr(args, "backend", None),
+    )
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Named paper-figure campaigns over the result store.
+
+    ``run`` executes every unit store-first (re-runs are cache hits,
+    killed runs resume, a raised ``--trials`` tops stored prefixes up);
+    ``status`` inspects the store without running anything; ``report``
+    renders the aggregate tables from the store alone.
+    """
+    import json
+
+    from repro.analysis.reporting import format_table
+    from repro.campaigns import MissingUnitsError, describe_campaigns
+
+    if args.action == "list":
+        print(format_table(["campaign", "description"],
+                           describe_campaigns()))
+        return 0
+    camp = _get_campaign_or_exit(args.name)
+    if args.action == "show":
+        print(json.dumps(camp.to_dict(), indent=2))
+        return 0
+
+    runner = _campaign_runner(args)
+    overrides = {"n_trials": args.trials, "seed": args.campaign_seed}
+    if args.action == "run":
+        try:
+            total = len(camp.units(**overrides))
+        except ValueError as exc:
+            raise _cli_error(exc) from None
+
+        def ticker(unit, outcome, _state={"done": 0}):
+            _state["done"] += 1
+            extra = (f" (+{outcome.trials_computed} trials)"
+                     if outcome.trials_computed else "")
+            print(f"  [{_state['done']}/{total}] {unit.label()}: "
+                  f"{outcome.outcome}{extra}")
+
+        try:
+            result = runner.run(camp, progress=ticker, **overrides)
+        except ValueError as exc:
+            raise _cli_error(exc) from None
+        counts = ", ".join(
+            f"{n} {outcome}" for outcome, n in
+            sorted(result.outcome_counts().items())
+        )
+        print(f"campaign {camp.name}: {len(result.units)} units ({counts}), "
+              f"{result.trials_computed} trials computed, "
+              f"store {runner.store.root}")
+        print(f"checkpoint: {runner.checkpoint_path(camp)}")
+        return 0
+    if args.action == "status":
+        try:
+            status = runner.status(camp, **overrides)
+        except ValueError as exc:
+            raise _cli_error(exc) from None
+        print(f"campaign {camp.name}: {status['total_units']} units at "
+              f"{status['n_trials']} trial(s)/unit, seed {status['seed']}, "
+              f"store {runner.store.root}")
+        rows = [
+            (kind, slot["cached"], slot["reusable"], slot["missing"])
+            for kind, slot in sorted(status["per_kind"].items())
+        ]
+        rows.append(("total", status["cached"], status["reusable"],
+                     status["missing"]))
+        print(format_table(["kind", "cached", "reusable", "missing"], rows))
+        return 0
+    # report
+    try:
+        tables = runner.report(camp, **overrides)
+    except (MissingUnitsError, ValueError) as exc:
+        raise _cli_error(exc) from None
+    for kind, table in tables.items():
+        print(f"campaign {camp.name} · {kind} "
+              f"({table.metadata['n_trials']} trials/unit)")
+        print(table.format())
+        print()
+    if args.json:
+        import pathlib
+
+        doc = {
+            kind: json.loads(table.to_json())
+            for kind, table in tables.items()
+        }
+        pathlib.Path(args.json).write_text(
+            json.dumps(doc, indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -415,6 +538,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", default=None,
                          help="also write the table as CSV to this path")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="resumable paper-figure campaigns over the result store",
+        description="Run, inspect and report named measurement "
+        "campaigns (grids of scenario knobs x trial kinds x policy "
+        "arms).  Results persist in a content-addressed store, so "
+        "re-running a campaign is pure cache hits, a killed run "
+        "resumes where it stopped, and raising --trials computes only "
+        "the missing trial suffix of each stored unit (top-up).  "
+        "`report` renders the aggregate tables from the store alone.",
+    )
+    camp_sub = p_camp.add_subparsers(dest="action", required=True)
+    p_clist = camp_sub.add_parser("list", help="table of named campaigns")
+    p_clist.set_defaults(func=cmd_campaign, action="list")
+    p_cshow = camp_sub.add_parser("show", help="one campaign as JSON")
+    p_cshow.add_argument("name")
+    p_cshow.set_defaults(func=cmd_campaign, action="show")
+
+    def add_campaign_flags(p):
+        p.add_argument("name", help="campaign name (see `campaign list`)")
+        p.add_argument("--store", default=None,
+                       help="result store directory (default "
+                            "$REPRO_STORE or ~/.cache/repro)")
+        p.add_argument("--trials", type=int, default=None,
+                       help="override the campaign's trials/unit "
+                            "(higher values top up stored results)")
+        p.add_argument("--seed", type=int, default=None,
+                       dest="campaign_seed",
+                       help="override the campaign's root seed "
+                            "(default: the campaign's own)")
+
+    p_crun = camp_sub.add_parser(
+        "run", help="execute the campaign, store-first")
+    add_campaign_flags(p_crun)
+    p_crun.add_argument("--workers", type=int, default=1,
+                        help="parallel trial processes per unit "
+                             "(default serial)")
+    add_backend_flag(p_crun)
+    p_crun.set_defaults(func=cmd_campaign, action="run")
+
+    p_cstat = camp_sub.add_parser(
+        "status", help="what the store already holds (runs nothing)")
+    add_campaign_flags(p_cstat)
+    p_cstat.set_defaults(func=cmd_campaign, action="status")
+
+    p_crep = camp_sub.add_parser(
+        "report", help="aggregate tables from the store alone")
+    add_campaign_flags(p_crep)
+    p_crep.add_argument("--json", default=None,
+                        help="also write the report (all kinds) as JSON "
+                             "to this path")
+    p_crep.set_defaults(func=cmd_campaign, action="report")
     return parser
 
 

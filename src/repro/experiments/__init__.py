@@ -55,6 +55,9 @@ from repro.experiments.results import ResultTable
 from repro.experiments.runner import (
     BACKENDS,
     ExperimentRunner,
+    ber_aggregate,
+    energy_aggregate,
+    energy_trial,
     error_budget,
     feedback_ber_trial,
     forward_ber_trial,
@@ -66,6 +69,29 @@ from repro.experiments.spec import (
     ScenarioSpec,
     ScenarioStack,
 )
+
+#: Metric name → standard trial function.  This is the vocabulary the
+#: CLI (``--metric``), the campaign layer (``kinds=``) and the result
+#: store (trial-kind component of the content address) all share — a
+#: kind name must stay stable once results are cached under it.
+TRIAL_KINDS = {
+    "forward-ber": forward_ber_trial,
+    "feedback-ber": feedback_ber_trial,
+    "frame-delivery": frame_delivery_trial,
+    "energy": energy_trial,
+    "mac": mac_trial,
+}
+
+#: Metric name → table aggregate producing one report record.  The BER
+#: kinds pool error/bit tallies exactly; ``mac`` pools packet counts
+#: with Wilson bounds; ``energy`` derives the duty-cycle economics.
+TRIAL_AGGREGATES = {
+    "forward-ber": ber_aggregate,
+    "feedback-ber": ber_aggregate,
+    "frame-delivery": ber_aggregate,
+    "energy": energy_aggregate,
+    "mac": mac_aggregate,
+}
 
 #: Re-exported lazily: repro.experiments.batch pulls in the full
 #: sample-level stack, which consumers that never run the vectorized
@@ -87,12 +113,17 @@ def __getattr__(name):
 __all__ = [
     "BACKENDS",
     "MAC_POLICY_KINDS",
+    "TRIAL_AGGREGATES",
+    "TRIAL_KINDS",
     "ExperimentRunner",
     "ResultTable",
     "ScenarioSpec",
     "ScenarioStack",
     "batched_trial_for",
+    "ber_aggregate",
     "build_mac_policy",
+    "energy_aggregate",
+    "energy_trial",
     "error_budget",
     "feedback_ber_trial",
     "forward_ber_trial",

@@ -179,12 +179,55 @@ class ExperimentRunner:
             return self.backend
         return "parallel" if self.workers > 1 else "serial"
 
-    def run(self, spec: ScenarioSpec, seed=0) -> ResultTable:
+    def run(
+        self,
+        spec: ScenarioSpec,
+        seed=0,
+        *,
+        first_trial: int = 0,
+        store=None,
+    ) -> ResultTable:
         """Execute up to ``max_trials`` trials of ``spec``.
 
         ``seed`` may be an int or a :class:`numpy.random.SeedSequence`;
         identical seeds give identical tables at any worker count.
+
+        ``first_trial`` resumes the trial sequence mid-way: trials
+        ``first_trial … max_trials-1`` run with exactly the seed
+        streams a full run would have given them (the root sequence is
+        fast-forwarded by spawning and discarding the first
+        ``first_trial`` children), so a resumed run concatenated after
+        a prior prefix is bitwise identical to one cold run.  Requires
+        ``stop_when`` unset — a stop rule is defined over the full
+        record prefix, which a partial run cannot see.
+
+        ``store`` (a :class:`repro.store.ResultStore`) makes the run
+        cache-aware: the result is served from the store when present,
+        topped up from the longest stored prefix when partially
+        present, and stored after computing otherwise.  See
+        :func:`repro.store.cached_run` for the full contract (which a
+        caller needing hit/miss accounting should use directly).
         """
+        if store is not None:
+            if first_trial:
+                raise ValueError(
+                    "first_trial and store are mutually exclusive: the "
+                    "store computes resume offsets itself"
+                )
+            from repro.store.cache import cached_run
+
+            return cached_run(store, self, spec, seed=seed).table
+        if not 0 <= first_trial <= self.max_trials:
+            raise ValueError(
+                f"first_trial must be in [0, max_trials], got "
+                f"{first_trial} with max_trials={self.max_trials}"
+            )
+        if first_trial and self.stop_when is not None:
+            raise ValueError(
+                "first_trial requires stop_when=None: adaptive stopping "
+                "is defined over the full record prefix, which a "
+                "resumed run cannot evaluate"
+            )
         root = (
             seed
             if isinstance(seed, np.random.SeedSequence)
@@ -194,25 +237,28 @@ class ExperimentRunner:
         # huge ceiling with an error-budget stop rule costs O(chunk)
         # memory; incremental root.spawn() yields the same children as
         # one up-front root.spawn(max_trials), so results are unchanged.
+        if first_trial:
+            root.spawn(first_trial)
         backend = self.resolved_backend()
         if backend == "vectorized":
-            records = self._run_vectorized(spec, root)
+            records = self._run_vectorized(spec, root, first_trial)
         elif backend == "parallel":
-            records = self._run_parallel(spec, root)
+            records = self._run_parallel(spec, root, first_trial)
         else:
-            records = self._run_serial(spec, root)
-        table = ResultTable(
-            metadata={
-                "scenario": spec.to_dict(),
-                "seed": _seed_repr(root),
-                "backend": backend,
-                "workers": max(1, self.workers),
-                "max_trials": self.max_trials,
-                "min_trials": self.min_trials,
-                "trials_run": len(records),
-                "stopped_early": len(records) < self.max_trials,
-            }
-        )
+            records = self._run_serial(spec, root, first_trial)
+        metadata = {
+            "scenario": spec.to_dict(),
+            "seed": _seed_repr(root),
+            "backend": backend,
+            "workers": max(1, self.workers),
+            "max_trials": self.max_trials,
+            "min_trials": self.min_trials,
+            "trials_run": len(records),
+            "stopped_early": len(records) < self.max_trials - first_trial,
+        }
+        if first_trial:
+            metadata["first_trial"] = first_trial
+        table = ResultTable(metadata=metadata)
         table.extend(records)
         return table
 
@@ -264,21 +310,21 @@ class ExperimentRunner:
 
     # -- execution strategies ----------------------------------------------
 
-    def _run_serial(self, spec, root) -> list[dict]:
+    def _run_serial(self, spec, root, first_trial=0) -> list[dict]:
         records: list[dict] = []
-        for index in range(self.max_trials):
+        for index in range(first_trial, self.max_trials):
             (child,) = root.spawn(1)
             records.append(_invoke((self.trial, spec, child, index)))
             if self._stop_index(records) is not None:
                 break
         return records
 
-    def _run_parallel(self, spec, root) -> list[dict]:
+    def _run_parallel(self, spec, root, first_trial=0) -> list[dict]:
         chunk = self.chunk_size or 2 * self.workers
         check_positive("chunk_size", chunk)
         records: list[dict] = []
         with multiprocessing.Pool(processes=self.workers) as pool:
-            for start in range(0, self.max_trials, chunk):
+            for start in range(first_trial, self.max_trials, chunk):
                 count = min(chunk, self.max_trials - start)
                 batch = [
                     (self.trial, spec, child, start + offset)
@@ -290,7 +336,7 @@ class ExperimentRunner:
                     return records[:stop]
         return records
 
-    def _run_vectorized(self, spec, root) -> list[dict]:
+    def _run_vectorized(self, spec, root, first_trial=0) -> list[dict]:
         # Imported lazily: batch pulls in the full sample-level stack,
         # which serial/parallel runs of synthetic trials never need.
         from repro.experiments.batch import batched_trial_for
@@ -301,7 +347,7 @@ class ExperimentRunner:
         )
         check_positive("chunk_size", chunk)
         records: list[dict] = []
-        for start in range(0, self.max_trials, chunk):
+        for start in range(first_trial, self.max_trials, chunk):
             count = min(chunk, self.max_trials - start)
             batch = batch_trial(spec, root.spawn(count))
             if len(batch) != count:
@@ -334,6 +380,71 @@ def _seed_repr(root: np.random.SeedSequence):
     if isinstance(entropy, (int, np.integer)):
         return int(entropy)
     return [int(e) for e in entropy]
+
+
+def ber_aggregate(table: ResultTable) -> dict:
+    """Collapse per-trial error tallies into one exact rate record.
+
+    Sums the ``errors`` and ``bits`` columns and recomputes the rate
+    from the totals (never a mean of per-trial ratios).  The sweep and
+    campaign drivers stamp ``n_trials`` onto each point themselves, so
+    the aggregate only reports the error statistics.
+    """
+    errors = int(table.sum("errors"))
+    bits = int(table.sum("bits"))
+    return {
+        "errors": errors,
+        "bits": bits,
+        "rate": errors / bits if bits else 0.0,
+    }
+
+
+def energy_aggregate(table: ResultTable) -> dict:
+    """Collapse energy trials into the paper's duty-cycle economics.
+
+    From the per-exchange records: the delivery ratio, the mean energy
+    harvested by each side per exchange, the transmitter's energy per
+    *delivered* frame (attempt cost over delivery ratio — the quantity
+    early abort attacks), the harvest income rate, and the renewal-bound
+    sustainable report rate
+    (:func:`repro.hardware.dutycycle.sustainable_packet_rate`) scaled to
+    reports per hour.  ``energy_per_delivered_joule`` and the rate are
+    0.0 when nothing was delivered (mirrors the MAC flattening
+    convention) — a dead link sustains no reports.
+    """
+    from repro.hardware.dutycycle import sustainable_packet_rate
+
+    n = len(table)
+    if not n:
+        return {
+            "delivered": 0.0,
+            "harvested_a_joule": 0.0,
+            "harvested_b_joule": 0.0,
+            "tx_energy_joule": 0.0,
+            "energy_per_delivered_joule": 0.0,
+            "harvest_rate_watt": 0.0,
+            "sustainable_reports_per_hour": 0.0,
+        }
+    delivery = table.mean("delivered")
+    attempt = table.mean("tx_energy_joule")
+    airtime = table.mean("airtime_seconds")
+    harvested_a = table.mean("harvested_a_joule")
+    per_delivered = attempt / delivery if delivery > 0.0 else 0.0
+    harvest_rate = harvested_a / airtime if airtime > 0.0 else 0.0
+    sustainable = (
+        sustainable_packet_rate(per_delivered, harvest_rate) * 3600.0
+        if per_delivered > 0.0
+        else 0.0
+    )
+    return {
+        "delivered": delivery,
+        "harvested_a_joule": harvested_a,
+        "harvested_b_joule": table.mean("harvested_b_joule"),
+        "tx_energy_joule": attempt,
+        "energy_per_delivered_joule": per_delivered,
+        "harvest_rate_watt": harvest_rate,
+        "sustainable_reports_per_hour": sustainable,
+    }
 
 
 def _mean_aggregate(table: ResultTable) -> dict:
@@ -418,3 +529,43 @@ def frame_delivery_trial(spec: ScenarioSpec, rng) -> dict:
     )
     return {"errors": 0 if ok else 1, "bits": 1,
             "delivered": 1.0 if ok else 0.0}
+
+
+def energy_trial(spec: ScenarioSpec, rng) -> dict:
+    """One framed exchange with the energy books kept on both sides.
+
+    Same seed-stream layout as :func:`frame_delivery_trial` (channel,
+    frame, feedback, run — DESIGN §7), plus deterministic energy
+    accounting: the harvested energy each tag banks during the exchange
+    (from the staged incident fields) and the transmitter's spend for
+    the over-the-air bits under the default
+    :class:`~repro.hardware.energy.EnergyModel`.  Feeds the
+    range-versus-duty-cycle campaign via :func:`energy_aggregate`; no
+    vectorized implementation (the energy path is not lane-stacked), so
+    it runs on the serial and parallel backends.
+    """
+    from repro.hardware.energy import EnergyModel
+    from repro.phy.framing import random_frame
+
+    stack = _stack_for(spec)
+    rng_ch, rng_frame, rng_fb, rng_run = spawn_rngs(rng, 4)
+    gains = stack.realize(rng_ch)
+    payload_bytes = 16
+    frame = random_frame(payload_bytes, rng_frame)
+    fb = random_bits(
+        rng_fb,
+        max(1, (payload_bytes * 8 + 64) // spec.asymmetry_ratio),
+    )
+    exchange = stack.link.run(gains, frame, fb, rng=rng_run)
+    ok = exchange.data_delivered and np.array_equal(
+        exchange.data_result.frame.payload_bits, frame.payload_bits
+    )
+    model = EnergyModel()
+    air_bits = int(exchange.data_bits_sent.size)
+    return {
+        "delivered": 1.0 if ok else 0.0,
+        "harvested_a_joule": float(exchange.harvested_a_joule),
+        "harvested_b_joule": float(exchange.harvested_b_joule),
+        "tx_energy_joule": float(model.tx_cost(air_bits)),
+        "airtime_seconds": air_bits / spec.bit_rate_bps,
+    }

@@ -1,0 +1,68 @@
+"""Content-addressed persistence of experiment results.
+
+Every fixed-budget run of the experiment runner is a pure function of
+``(scenario, trial kind, n_trials, seed, code version)`` — so results
+can be *addressed by* those five inputs instead of recomputed.  This
+package owns that address space:
+
+* :mod:`repro.store.keys` — :func:`canonical_json` (the one JSON text a
+  spec dict canonicalises to) and :func:`result_key` (the sha256
+  content address, split into a trial-sequence ``base`` and a
+  per-budget ``digest``);
+* :mod:`repro.store.store` — :class:`ResultStore`, ``get``/``put``/
+  ``has`` of :class:`~repro.experiments.results.ResultTable` JSON under
+  ``~/.cache/repro`` (override with ``--store`` or ``$REPRO_STORE``),
+  plus the prefix queries behind truncation and top-up;
+* :mod:`repro.store.cache` — :func:`cached_run`, which satisfies a
+  runner request from the store, computing only the missing trial
+  suffix (the *incremental top-up* contract).
+
+Quickstart::
+
+    from repro.experiments import ExperimentRunner, forward_ber_trial
+    from repro.experiments import get_scenario
+    from repro.store import ResultStore, cached_run
+
+    store = ResultStore("/tmp/mystore")
+    runner = ExperimentRunner(trial=forward_ber_trial, max_trials=500)
+    first = cached_run(store, runner, get_scenario("calibrated-default"))
+    # …later, a bigger budget reuses the 500 cached trials:
+    runner = ExperimentRunner(trial=forward_ber_trial, max_trials=2000)
+    more = cached_run(store, runner, get_scenario("calibrated-default"))
+    assert more.outcome == "topup" and more.trials_computed == 1500
+
+:mod:`repro.campaigns` builds the named, resumable sweep layer on top.
+"""
+
+from repro.store.cache import OUTCOMES, CachedRun, cached_run, canonical_table
+from repro.store.keys import (
+    CODE_VERSION,
+    ResultKey,
+    canonical_json,
+    canonical_seed,
+    result_key,
+    trial_kind_of,
+)
+from repro.store.store import (
+    DEFAULT_ROOT,
+    STORE_ENV,
+    ResultStore,
+    default_store_root,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "DEFAULT_ROOT",
+    "OUTCOMES",
+    "STORE_ENV",
+    "CachedRun",
+    "ResultKey",
+    "ResultStore",
+    "cached_run",
+    "canonical_json",
+    "canonical_seed",
+    "canonical_table",
+    "default_store_root",
+    "result_key",
+    "trial_kind_of",
+]

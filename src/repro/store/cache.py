@@ -1,0 +1,126 @@
+"""Cache-aware execution: run only the trials the store is missing.
+
+:func:`cached_run` is the contract between the store and
+:class:`~repro.experiments.runner.ExperimentRunner`:
+
+* **exact hit** — the requested budget is stored: zero trials run;
+* **truncation** — a *larger* budget of the same trial sequence is
+  stored: slice its first ``n`` records, store the slice, zero trials
+  run;
+* **top-up** — a *smaller* budget ``n0 < n`` is stored: run only trials
+  ``n0 … n-1`` (the runner fast-forwards the root ``SeedSequence`` by
+  ``n0`` children, so the new records are bitwise what a cold run would
+  have produced at those indices), concatenate, store;
+* **miss** — nothing stored: run all ``n`` trials, store.
+
+All four paths return byte-identical stored JSON for the same key —
+the acceptance property the campaign tests pin down.  Both prefix
+tricks are sound only because a fixed-budget run's record ``i`` is a
+pure function of ``(spec, root seed, i)`` (DESIGN §7); adaptive
+stopping breaks that, so a runner with ``stop_when`` set is refused.
+
+Stored tables carry *canonical* metadata — scenario, kind, budget,
+seed, code version, key — and deliberately nothing about how they were
+computed (backend, workers, chunking, topped-up-or-cold are execution
+details that must not make equal results compare unequal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.results import ResultTable
+from repro.store.keys import ResultKey, result_key
+from repro.store.store import ResultStore
+
+#: ``CachedRun.outcome`` values, from cheapest to most expensive.
+OUTCOMES = ("hit", "truncated", "topup", "miss")
+
+
+@dataclass(frozen=True)
+class CachedRun:
+    """What :func:`cached_run` did for one request.
+
+    Attributes
+    ----------
+    table:
+        The full requested-budget table (identical to a cold run).
+    outcome:
+        One of :data:`OUTCOMES`.
+    trials_computed:
+        How many trials actually executed (0 for hit/truncated).
+    key:
+        The content address the table is stored under.
+    """
+
+    table: ResultTable
+    outcome: str
+    trials_computed: int
+    key: ResultKey
+
+
+def canonical_table(key: ResultKey, spec, records) -> ResultTable:
+    """The one stored form of ``records`` under ``key``.
+
+    Metadata is rebuilt from the key alone so hit, truncation, top-up
+    and miss all serialise to identical bytes.
+    """
+    table = ResultTable(
+        metadata={
+            "kind": key.kind,
+            "n_trials": key.n_trials,
+            "scenario": spec.to_dict(),
+            "seed": key.seed,
+            "code_version": key.code_version,
+            "store_key": key.digest,
+        }
+    )
+    table.extend(records)
+    return table
+
+
+def cached_run(
+    store: ResultStore,
+    runner,
+    spec,
+    seed=0,
+    *,
+    code_version: str | None = None,
+) -> CachedRun:
+    """Satisfy ``runner.run(spec, seed)`` from ``store``, topping up.
+
+    ``runner`` must be fixed-budget (``stop_when is None``): the cache
+    key asserts the table holds exactly ``max_trials`` records, which an
+    adaptive stop cannot guarantee.
+    """
+    if runner.stop_when is not None:
+        raise ValueError(
+            "cached_run requires a fixed trial budget; a runner with "
+            "stop_when set produces seed-and-rule-dependent record "
+            "counts that cannot be content-addressed (run it without "
+            "a store instead)"
+        )
+    n = runner.max_trials
+    key = result_key(spec, runner.trial, n, seed, code_version)
+
+    exact = store.get(key)
+    if exact is not None:
+        return CachedRun(exact, "hit", 0, key)
+
+    prior = store.best_prefix(key)
+    if prior is not None and len(prior) >= n:
+        table = canonical_table(key, spec, prior.records[:n])
+        store.put(key, table)
+        return CachedRun(table, "truncated", 0, key)
+
+    if prior is not None:
+        n0 = len(prior)
+        fresh = runner.run(spec, seed=seed, first_trial=n0)
+        table = canonical_table(key, spec, prior.records + fresh.records)
+        store.put(key, table)
+        return CachedRun(table, "topup", len(fresh), key)
+
+    cold = runner.run(spec, seed=seed)
+    table = canonical_table(key, spec, cold.records)
+    store.put(key, table)
+    return CachedRun(table, "miss", len(cold), key)

@@ -1,0 +1,200 @@
+"""Canonical result keys: what identifies a cached experiment.
+
+A stored table is reusable only if *everything* that determines its
+records is folded into its address.  Under the runner's seeding
+contract (DESIGN §7) the records of a fixed-budget run are a pure
+function of exactly five inputs, and the key hashes all five:
+
+1. the scenario — ``ScenarioSpec.to_dict()``, canonicalised;
+2. the trial kind — the registered metric name (``"forward-ber"``,
+   ``"mac"``, …) or the trial function's dotted path;
+3. the trial budget ``n_trials`` (runs must be fixed-budget: adaptive
+   stopping makes the realised records depend on the stop rule, so
+   :func:`repro.store.cache.cached_run` refuses ``stop_when``);
+4. the root seed;
+5. the code version — simulation changes must not satisfy stale
+   entries, so :data:`CODE_VERSION` (``repro.__version__``) is part of
+   the address and the contract is *bump the version when the
+   simulation output changes* (the golden fixtures enforce the same
+   boundary).
+
+The backend, worker count and chunk size are deliberately **not** in
+the key: all backends are bitwise identical for the same seed, so they
+are execution details, not result identity.
+
+Because ``n_trials`` enters the hash last, every key also carries a
+*base* digest over the other four inputs.  Entries sharing a base are
+prefixes of one infinite trial sequence (trial ``i`` depends only on
+the root seed and ``i``), which is what makes the store's top-up and
+truncation contracts sound (see :mod:`repro.store.store`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import __version__
+from repro.experiments.spec import ScenarioSpec
+
+#: Code version folded into every result key.  Bump
+#: ``repro.__version__`` whenever a change alters simulation output;
+#: stale cache entries then simply stop being addressable.
+CODE_VERSION = __version__
+
+
+def canonical_json(obj) -> str:
+    """The one JSON text a JSON-able value canonicalises to.
+
+    Sorted keys, no whitespace, ASCII-only, and ``allow_nan=False`` so a
+    non-finite float is an error instead of a non-standard token.
+    Python floats serialise via ``repr`` (shortest round-trip), so equal
+    floats always produce identical text and parsing the text back
+    yields bitwise-equal values — the property the spec stability test
+    pins down.
+    """
+    return json.dumps(
+        obj,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def canonical_seed(seed):
+    """JSON-safe canonical form of a root seed (int or SeedSequence).
+
+    A ``SeedSequence`` is more than its entropy: a spawned child
+    (non-empty ``spawn_key``) or a root that has already spawned
+    children (``n_children_spawned > 0``) yields *different* trial
+    streams than a pristine root with the same entropy, so collapsing
+    them to the entropy alone would let distinct runs share one cache
+    address.  A pristine root canonicalises to its entropy (equal to
+    the plain-int form the CLI and campaigns use); anything else
+    carries its full spawn state.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if isinstance(entropy, (int, np.integer)):
+            entropy = int(entropy)
+        else:
+            entropy = [int(e) for e in entropy]
+        spawn_key = [int(k) for k in seed.spawn_key]
+        spawned = int(seed.n_children_spawned)
+        if not spawn_key and not spawned:
+            return entropy
+        return {
+            "entropy": entropy,
+            "spawn_key": spawn_key,
+            "children_spawned": spawned,
+        }
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    raise TypeError(
+        f"seed must be an int or numpy SeedSequence, got {type(seed).__name__}"
+    )
+
+
+def trial_kind_of(trial: Callable) -> str:
+    """The stable name a trial function is keyed under.
+
+    Registered standard trials use their metric name from
+    :data:`repro.experiments.TRIAL_KINDS`; custom trials fall back to
+    their dotted import path (stable as long as the function does not
+    move — moving it is a legitimate cache invalidation).
+    """
+    from repro.experiments import TRIAL_KINDS
+
+    for name, fn in TRIAL_KINDS.items():
+        if fn is trial:
+            return name
+    return f"{trial.__module__}.{trial.__qualname__}"
+
+
+@dataclass(frozen=True)
+class ResultKey:
+    """Content address of one fixed-budget run.
+
+    Attributes
+    ----------
+    base:
+        Hex digest over (scenario, trial kind, seed, code version) —
+        the identity of the *trial sequence*.
+    n_trials:
+        The budget; entries with equal ``base`` and different budgets
+        are prefixes of each other.
+    digest:
+        Hex digest over the base material plus ``n_trials`` — the full
+        content address of the stored table.
+    kind / seed / code_version:
+        The human-readable key components (carried for metadata).
+    """
+
+    base: str
+    n_trials: int
+    digest: str
+    kind: str
+    seed: object
+    code_version: str
+
+    def at_budget(self, n_trials: int) -> "ResultKey":
+        """The key of the same trial sequence at another budget."""
+        if n_trials < 1:
+            raise ValueError("n_trials must be positive")
+        return ResultKey(
+            base=self.base,
+            n_trials=int(n_trials),
+            digest=_full_digest(self.base, int(n_trials)),
+            kind=self.kind,
+            seed=self.seed,
+            code_version=self.code_version,
+        )
+
+
+def _full_digest(base: str, n_trials: int) -> str:
+    return hashlib.sha256(
+        f"{base}:n_trials={n_trials}".encode("ascii")
+    ).hexdigest()
+
+
+def result_key(
+    spec: ScenarioSpec,
+    trial_kind,
+    n_trials: int,
+    seed,
+    code_version: str | None = None,
+) -> ResultKey:
+    """The content address of ``n_trials`` trials of ``spec``.
+
+    ``trial_kind`` may be a registered kind name or the trial callable
+    itself (resolved via :func:`trial_kind_of`).
+    """
+    if callable(trial_kind):
+        trial_kind = trial_kind_of(trial_kind)
+    if n_trials < 1:
+        raise ValueError("n_trials must be positive")
+    version = CODE_VERSION if code_version is None else str(code_version)
+    seed_c = canonical_seed(seed)
+    base_doc = canonical_json(
+        {
+            "scenario": spec.to_dict(),
+            "kind": trial_kind,
+            "seed": seed_c,
+            "code_version": version,
+        }
+    )
+    base = hashlib.sha256(base_doc.encode("ascii")).hexdigest()
+    full = _full_digest(base, int(n_trials))
+    return ResultKey(
+        base=base,
+        n_trials=int(n_trials),
+        digest=full,
+        kind=trial_kind,
+        seed=seed_c,
+        code_version=version,
+    )

@@ -1,0 +1,151 @@
+"""Content-addressed on-disk store of :class:`ResultTable`\\ s.
+
+Layout (everything JSON, everything human-inspectable)::
+
+    <root>/
+      results/<base[:2]>/<base>/trials-<n>.json   one table per budget
+      campaigns/<name>.json                       campaign checkpoints
+
+``base`` is the :class:`~repro.store.keys.ResultKey` base digest — the
+identity of a trial *sequence* — and each file under it holds the
+table of one fixed budget of that sequence.  Because trial ``i`` of a
+sequence is independent of the budget (DESIGN §7: per-trial seed
+streams are spawned by index), the entries under one base are prefixes
+of each other, which the store exploits two ways:
+
+* **truncation** — a cached 2000-trial table answers a 500-trial
+  request by slicing its first 500 records;
+* **top-up** — a cached 500-trial table answers a 2000-trial request
+  by computing only trials 500…1999 (the caller's job; the store just
+  reports the best prefix via :meth:`ResultStore.best_prefix`).
+
+Writes are atomic (temp file + ``os.replace``) so a killed campaign
+never leaves a half-written table behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.experiments.results import ResultTable
+from repro.store.keys import ResultKey
+
+#: Environment variable overriding the default store location.
+STORE_ENV = "REPRO_STORE"
+
+#: Default store root when neither ``--store`` nor the env var is set.
+DEFAULT_ROOT = "~/.cache/repro"
+
+
+def default_store_root() -> pathlib.Path:
+    """``$REPRO_STORE`` if set, else ``~/.cache/repro``."""
+    return pathlib.Path(
+        os.environ.get(STORE_ENV) or DEFAULT_ROOT
+    ).expanduser()
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """get/put/has of result tables, addressed by :class:`ResultKey`.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created lazily on first write).  ``None``
+        selects :func:`default_store_root`.
+    """
+
+    def __init__(self, root: str | pathlib.Path | None = None) -> None:
+        self.root = (
+            pathlib.Path(root).expanduser()
+            if root is not None
+            else default_store_root()
+        )
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"
+
+    # -- paths ---------------------------------------------------------------
+
+    def _base_dir(self, key: ResultKey) -> pathlib.Path:
+        return self.root / "results" / key.base[:2] / key.base
+
+    def path_for(self, key: ResultKey) -> pathlib.Path:
+        """Where the exact-budget table of ``key`` lives (or would)."""
+        return self._base_dir(key) / f"trials-{key.n_trials}.json"
+
+    def campaign_dir(self) -> pathlib.Path:
+        """Where campaign checkpoints live."""
+        return self.root / "campaigns"
+
+    # -- exact-budget access -------------------------------------------------
+
+    def has(self, key: ResultKey) -> bool:
+        """Whether the exact budget of ``key`` is stored."""
+        return self.path_for(key).is_file()
+
+    def get(self, key: ResultKey) -> ResultTable | None:
+        """The stored table for ``key``'s exact budget, else ``None``."""
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        return ResultTable.from_json(path.read_text())
+
+    def put(self, key: ResultKey, table: ResultTable) -> pathlib.Path:
+        """Store ``table`` under ``key`` (atomic; returns the path).
+
+        The table must actually hold ``key.n_trials`` records — storing
+        a mislabelled table would poison every later truncation and
+        top-up against this base.
+        """
+        if len(table) != key.n_trials:
+            raise ValueError(
+                f"table has {len(table)} records but the key says "
+                f"{key.n_trials} trials"
+            )
+        path = self.path_for(key)
+        _atomic_write(path, table.to_json() + "\n")
+        return path
+
+    # -- prefix queries (top-up / truncation) --------------------------------
+
+    def stored_budgets(self, key: ResultKey) -> list[int]:
+        """All budgets stored under ``key``'s base, ascending."""
+        base = self._base_dir(key)
+        if not base.is_dir():
+            return []
+        budgets = []
+        for entry in base.iterdir():
+            name = entry.name
+            if name.startswith("trials-") and name.endswith(".json"):
+                try:
+                    budgets.append(int(name[len("trials-"):-len(".json")]))
+                except ValueError:
+                    continue
+        return sorted(budgets)
+
+    def best_prefix(self, key: ResultKey) -> ResultTable | None:
+        """The most useful stored table for ``key``'s trial sequence.
+
+        Preference order: the exact budget; else the *smallest* stored
+        budget above it (cheapest truncation); else the *largest*
+        stored budget below it (best top-up start).  ``None`` when the
+        base is empty.
+        """
+        budgets = self.stored_budgets(key)
+        if not budgets:
+            return None
+        if key.n_trials in budgets:
+            best = key.n_trials
+        else:
+            above = [n for n in budgets if n > key.n_trials]
+            below = [n for n in budgets if n < key.n_trials]
+            best = min(above) if above else max(below)
+        return self.get(key.at_budget(best))

@@ -260,6 +260,66 @@ class TestSweep:
         assert sweep.column("a") == [1.0]
         assert "b" not in sweep.columns
 
+    def test_sweep_is_a_result_table_underneath(self):
+        # Sweep1D is now a shim over the one table shape; the backing
+        # table is the real container and stays in lock-step.
+        from repro.experiments.results import ResultTable
+
+        sweep = sweep1d("d", [1, 2], lambda d: {"y": d * 10})
+        assert isinstance(sweep.table, ResultTable)
+        assert sweep.table.columns == ["d", "y"]
+        assert sweep.table.records == [{"d": 1, "y": 10},
+                                       {"d": 2, "y": 20}]
+        assert sweep.table.metadata == {"parameter": "d"}
+        assert sweep.header() == ["d", "y"]
+        assert sweep.rows() == sweep.table.rows()
+
+    def test_sweep_shim_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="Sweep1D is deprecated"):
+            Sweep1D(parameter="x")
+        with pytest.warns(DeprecationWarning, match="Sweep1D is deprecated") as rec:
+            sweep1d("x", [1], lambda x: {"y": x})
+        # sweep1d warns once, not once per internal construction
+        assert len([w for w in rec
+                    if issubclass(w.category, DeprecationWarning)]) == 1
+
+    def test_metric_colliding_with_parameter_rejected(self):
+        # One flat record per point: a metric named after the swept
+        # parameter would silently overwrite the swept value.
+        sweep = Sweep1D(parameter="x")
+        with pytest.raises(ValueError, match="collides"):
+            sweep.add_point(1, x=10.0, y=1.0)
+        assert sweep.values == []
+
+    def test_empty_sweep_header_keeps_parameter(self):
+        sweep = Sweep1D(parameter="x")
+        assert sweep.header() == ["x"]
+        assert sweep.rows() == []
+        assert sweep.values == []
+
+    def test_legacy_dataclass_constructor_still_accepted(self):
+        # The pre-shim dataclass exposed values=/columns= fields; the
+        # shim keeps accepting them (they seed the backing table).
+        sweep = Sweep1D(parameter="x", values=[1, 2],
+                        columns={"y": [10.0, 20.0]})
+        assert sweep.values == [1, 2]
+        assert sweep.column("y") == [10.0, 20.0]
+        assert sweep.table.records == [{"x": 1, "y": 10.0},
+                                       {"x": 2, "y": 20.0}]
+        with pytest.raises(TypeError, match="not both"):
+            Sweep1D(parameter="x", table=sweep.table, values=[1])
+
+    def test_from_result_table(self):
+        from repro.experiments.results import ResultTable
+
+        table = ResultTable()
+        table.extend([{"d": 1, "y": 2.0}])
+        sweep = Sweep1D(parameter="d", table=table)
+        assert sweep.values == [1]
+        assert sweep.column("y") == [2.0]
+        with pytest.raises(ValueError, match="first column"):
+            Sweep1D(parameter="nope", table=table)
+
 
 class TestReporting:
     def test_format_table_alignment(self):

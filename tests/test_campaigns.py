@@ -1,0 +1,360 @@
+"""Campaign layer: spec expansion, store-first execution, reports, CLI.
+
+The acceptance property from the store design: a campaign run twice
+produces bitwise-identical reports with the second run executing zero
+trials, and a topped-up run (same campaign, higher budget) matches a
+cold run at the larger budget byte for byte.  The tier-1 smoke here is
+the 2-point campaign exercising exactly that.
+"""
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    CampaignRunner,
+    CampaignSpec,
+    CampaignUnit,
+    MissingUnitsError,
+    campaign_names,
+    describe_campaigns,
+    get_campaign,
+)
+from repro.experiments import TRIAL_KINDS
+from repro.store import ResultStore
+
+#: Cheap sample-level overrides (16 samples/chip) for real-trial smokes.
+FAST_OVERRIDES = {
+    "sample_rate_hz": 32_000.0,
+    "source_bandwidth_hz": 20e3,
+}
+
+
+def _tiny_campaign(**changes) -> CampaignSpec:
+    base = dict(
+        name="tiny-test",
+        description="two-point smoke campaign",
+        scenario="calibrated-default",
+        overrides=dict(FAST_OVERRIDES),
+        grid={"distance_m": (0.4, 0.8)},
+        kinds=("forward-ber",),
+        n_trials=3,
+        seed=11,
+    )
+    base.update(changes)
+    return CampaignSpec(**base)
+
+
+class TestCampaignSpec:
+    def test_units_full_product_kind_point_arm_order(self):
+        camp = _tiny_campaign(
+            grid={"distance_m": (0.4, 0.8), "asymmetry_ratio": (16, 64)},
+            kinds=("forward-ber", "feedback-ber"),
+            arms={"a": {}, "b": {"self_compensation": False}},
+        )
+        units = camp.units()
+        assert len(units) == 2 * 4 * 2  # kinds x grid product x arms
+        # kind-major, then grid point (rightmost param fastest), then arm
+        assert [u.kind for u in units[:8]] == ["forward-ber"] * 8
+        assert units[0].point == (("distance_m", 0.4),
+                                  ("asymmetry_ratio", 16))
+        assert units[2].point == (("distance_m", 0.4),
+                                  ("asymmetry_ratio", 64))
+        assert [u.arm for u in units[:4]] == ["a", "b", "a", "b"]
+        assert units[1].spec.self_compensation is False
+
+    def test_arms_are_seed_paired_and_grid_wins_over_arm(self):
+        camp = _tiny_campaign(
+            grid={"mac_policy": ("no-arq",)},
+            arms={"x": {"mac_policy": "hd-arq"}},
+        )
+        (unit,) = camp.units()
+        assert unit.seed == 11
+        assert unit.spec.mac_policy == "no-arq"  # grid beats arm override
+
+    def test_empty_grid_is_one_point(self):
+        camp = _tiny_campaign(grid={})
+        units = camp.units()
+        assert len(units) == 1
+        assert units[0].point == ()
+
+    def test_budget_and_seed_overrides(self):
+        units = _tiny_campaign().units(n_trials=7, seed=2)
+        assert all(u.n_trials == 7 and u.seed == 2 for u in units)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown trial kind"):
+            _tiny_campaign(kinds=("warp-speed",))
+        with pytest.raises(ValueError, match="not ScenarioSpec fields"):
+            _tiny_campaign(grid={"warp_factor": (9,)})
+        with pytest.raises(ValueError, match="no values"):
+            _tiny_campaign(grid={"distance_m": ()})
+        with pytest.raises(ValueError, match="n_trials"):
+            _tiny_campaign(n_trials=0)
+
+    @pytest.mark.parametrize(
+        "name", ["", "../escape", "a/b", ".hidden", "x y"]
+    )
+    def test_unsafe_names_rejected(self, name):
+        # The name becomes the checkpoint filename: path separators or
+        # traversal must never escape <store>/campaigns/.
+        with pytest.raises(ValueError, match="campaign name"):
+            _tiny_campaign(name=name)
+
+    def test_dict_round_trip(self):
+        camp = _tiny_campaign(arms={"x": {"self_compensation": False}})
+        clone = CampaignSpec.from_dict(camp.to_dict())
+        assert clone.to_dict() == camp.to_dict()
+        assert [u.key().digest for u in clone.units()] == [
+            u.key().digest for u in camp.units()
+        ]
+        with pytest.raises(ValueError, match="unknown CampaignSpec"):
+            CampaignSpec.from_dict({"name": "x", "warp": 9})
+
+    def test_constructor_copies_caller_containers(self):
+        grid = {"distance_m": [0.4, 0.8]}
+        overrides = dict(FAST_OVERRIDES)
+        camp = _tiny_campaign(grid=grid, overrides=overrides)
+        grid["distance_m"].append(1.2)     # caller's list stays a list
+        overrides["distance_m"] = 9.9
+        assert camp.grid["distance_m"] == (0.4, 0.8)
+        assert "distance_m" not in camp.overrides
+
+    def test_unit_key_is_campaign_independent(self):
+        # The same (spec, kind, budget, seed) cell reached from two
+        # differently-named campaigns shares one store address.
+        a = _tiny_campaign(name="one").units()[0]
+        b = _tiny_campaign(name="two", description="other").units()[0]
+        assert a.key() == b.key()
+
+
+class TestTrialKindVocabulary:
+    def test_cli_metric_names_match_trial_kinds(self):
+        # cli.SWEEP_METRICS is a static copy of the shared vocabulary
+        # (so parser construction stays import-light); this pin makes
+        # any drift loud instead of silently hiding a kind from the CLI
+        # or crashing cmd_sweep with a raw KeyError.
+        from repro.cli import SWEEP_METRICS, VECTORIZABLE_METRICS
+
+        assert set(SWEEP_METRICS) == set(TRIAL_KINDS)
+
+        from repro.experiments.batch import _BATCH_TRIALS
+
+        batched = {
+            kind for kind, trial in TRIAL_KINDS.items()
+            if trial in _BATCH_TRIALS
+        }
+        assert set(VECTORIZABLE_METRICS) == batched
+
+    def test_every_kind_has_an_aggregate(self):
+        from repro.experiments import TRIAL_AGGREGATES
+
+        assert set(TRIAL_AGGREGATES) == set(TRIAL_KINDS)
+
+
+class TestBuiltinCampaigns:
+    def test_registry_lists_the_paper_figures(self):
+        assert campaign_names() == [
+            "fig-ber-vs-distance",
+            "fig-energy-vs-range",
+            "fig-goodput-vs-load",
+        ]
+        assert all(desc for _, desc in describe_campaigns())
+
+    def test_builtins_expand_and_validate(self):
+        for name in campaign_names():
+            camp = get_campaign(name)
+            units = camp.units()
+            assert units, name
+            assert all(u.kind in TRIAL_KINDS for u in units)
+
+    def test_goodput_arms_are_paired(self):
+        camp = get_campaign("fig-goodput-vs-load")
+        units = camp.units()
+        seeds = {u.seed for u in units}
+        assert len(seeds) == 1
+        arms = {u.arm for u in units}
+        assert arms == {"no-arq", "hd-arq", "fd-abort"}
+
+    def test_unknown_campaign_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown campaign"):
+            get_campaign("fig-does-not-exist")
+
+
+class TestCampaignRunner:
+    def test_two_point_campaign_twice_is_pure_cache_hits(self, tmp_path):
+        # Tier-1 smoke for the store acceptance criterion: run a real
+        # 2-point campaign twice; the second run must execute zero
+        # trials and the reports must be byte-identical.
+        camp = _tiny_campaign()
+        runner = CampaignRunner(store=ResultStore(tmp_path))
+        first = runner.run(camp)
+        report_1 = {k: t.to_json() for k, t in runner.report(camp).items()}
+        second = runner.run(camp)
+        report_2 = {k: t.to_json() for k, t in runner.report(camp).items()}
+        assert first.outcome_counts() == {"miss": 2}
+        assert first.trials_computed == 2 * 3
+        assert second.outcome_counts() == {"hit": 2}
+        assert second.trials_computed == 0
+        assert report_1 == report_2
+
+    def test_topped_up_campaign_matches_cold_bitwise(self, tmp_path):
+        camp = _tiny_campaign()
+        warm = CampaignRunner(store=ResultStore(tmp_path / "warm"))
+        warm.run(camp)                      # seeds the 3-trial prefixes
+        topped = warm.run(camp, n_trials=8)
+        cold_runner = CampaignRunner(store=ResultStore(tmp_path / "cold"))
+        cold = cold_runner.run(camp, n_trials=8)
+        assert topped.outcome_counts() == {"topup": 2}
+        assert topped.trials_computed == 2 * 5
+        assert cold.trials_computed == 2 * 8
+        warm_report = {
+            k: t.to_json()
+            for k, t in warm.report(camp, n_trials=8).items()
+        }
+        cold_report = {
+            k: t.to_json()
+            for k, t in cold_runner.report(camp, n_trials=8).items()
+        }
+        assert warm_report == cold_report
+
+    def test_report_from_store_alone(self, tmp_path):
+        camp = _tiny_campaign()
+        runner = CampaignRunner(store=ResultStore(tmp_path))
+        with pytest.raises(MissingUnitsError, match="not in the store"):
+            runner.report(camp)
+        runner.run(camp)
+        tables = runner.report(camp)
+        assert set(tables) == {"forward-ber"}
+        table = tables["forward-ber"]
+        assert table.columns == [
+            "distance_m", "arm", "errors", "bits", "rate", "n_trials"
+        ]
+        assert table.column("distance_m") == [0.4, 0.8]
+        assert all(n == 3 for n in table.column("n_trials"))
+
+    def test_status_counts(self, tmp_path):
+        camp = _tiny_campaign()
+        runner = CampaignRunner(store=ResultStore(tmp_path))
+        before = runner.status(camp)
+        assert (before["cached"], before["missing"]) == (0, 2)
+        runner.run(camp)
+        after = runner.status(camp)
+        assert (after["cached"], after["missing"]) == (2, 0)
+        # a higher budget sees the stored runs as reusable prefixes
+        topup = runner.status(camp, n_trials=10)
+        assert (topup["cached"], topup["reusable"]) == (0, 2)
+
+    def test_checkpoint_written_and_stale_discarded(self, tmp_path):
+        camp = _tiny_campaign()
+        runner = CampaignRunner(store=ResultStore(tmp_path))
+        result = runner.run(camp)
+        path = runner.checkpoint_path(camp)
+        state = json.loads(path.read_text())
+        assert state["campaign"] == camp.to_dict()
+        assert (state["completed"], state["total"]) == (2, 2)
+        assert len(state["units"]) == 2
+        assert all(
+            u["outcome"] == "miss" and u["trials_computed"] == 3
+            for u in state["units"].values()
+        )
+        digests = {r.key.digest for _, r in result.units}
+        assert set(state["units"]) == digests
+        # a different budget is a different run fingerprint: the stale
+        # checkpoint is discarded, but the store still tops up
+        topped = runner.run(camp, n_trials=5)
+        state2 = json.loads(path.read_text())
+        assert state2["run"]["n_trials"] == 5
+        assert topped.outcome_counts() == {"topup": 2}
+
+    def test_progress_callback_sees_every_unit(self, tmp_path):
+        camp = _tiny_campaign()
+        seen = []
+        CampaignRunner(store=ResultStore(tmp_path)).run(
+            camp, progress=lambda unit, outcome: seen.append(
+                (unit.label(), outcome.outcome)
+            )
+        )
+        assert len(seen) == 2
+        assert all(outcome == "miss" for _, outcome in seen)
+
+    def test_vectorized_falls_back_for_unbatched_kinds(self, tmp_path):
+        runner = CampaignRunner(
+            store=ResultStore(tmp_path), backend="vectorized"
+        )
+        assert runner._backend_for("forward-ber") == "vectorized"
+        assert runner._backend_for("mac") is None
+        assert runner._backend_for("energy") is None
+
+
+class TestCampaignCli:
+    def _run(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def test_list_and_show(self, capsys):
+        assert self._run(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig-ber-vs-distance" in out
+        assert self._run(["campaign", "show", "fig-goodput-vs-load"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["name"] == "fig-goodput-vs-load"
+
+    def test_unknown_campaign_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            self._run(["campaign", "run", "fig-nope"])
+        assert err.value.code == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_bad_trials_exits_cleanly(self, tmp_path, capsys):
+        for action in ("run", "status", "report"):
+            with pytest.raises(SystemExit) as err:
+                self._run(["campaign", action, "fig-ber-vs-distance",
+                           "--store", str(tmp_path), "--trials", "0"])
+            assert err.value.code == 2
+            assert "n_trials must be positive" in capsys.readouterr().err
+
+    def test_report_before_run_exits_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as err:
+            self._run(["campaign", "report", "fig-ber-vs-distance",
+                       "--store", str(tmp_path)])
+        assert err.value.code == 2
+        assert "not in the store" in capsys.readouterr().err
+
+    @pytest.mark.integration
+    def test_run_status_report_round_trip(self, tmp_path, capsys,
+                                          monkeypatch):
+        # Register a cheap campaign and drive it through the CLI; the
+        # second run must be pure hits and the two reports identical.
+        from repro.campaigns import builtin
+
+        monkeypatch.setitem(
+            builtin._CAMPAIGNS, "tiny-cli-test", _tiny_campaign
+        )
+        store = str(tmp_path / "store")
+        argv = ["campaign", "run", "tiny-cli-test", "--store", store]
+        assert self._run(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 miss" in first
+        assert self._run(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 hit" in second and "0 trials computed" in second
+
+        assert self._run(["campaign", "status", "tiny-cli-test",
+                          "--store", store]) == 0
+        assert "2" in capsys.readouterr().out
+
+        report_path = tmp_path / "report.json"
+        report_argv = ["campaign", "report", "tiny-cli-test",
+                       "--store", store, "--json", str(report_path)]
+        assert self._run(report_argv) == 0
+        text_1 = capsys.readouterr().out
+        doc_1 = report_path.read_text()
+        assert self._run(report_argv) == 0
+        text_2 = capsys.readouterr().out
+        assert text_1 == text_2
+        assert report_path.read_text() == doc_1
+        doc = json.loads(doc_1)
+        assert set(doc) == {"forward-ber"}
+        assert len(doc["forward-ber"]["records"]) == 2

@@ -279,6 +279,49 @@ class TestResultTable:
         out = table.format()
         assert out.splitlines()[0].startswith("x")
 
+    def test_from_json_preserves_metadata_and_column_order(self):
+        # The store round-trips tables through this path, so column
+        # *order* (not just the set) and nested metadata must survive.
+        table = ResultTable(
+            metadata={"scenario": {"name": "x", "distance_m": 0.5},
+                      "seed": [1, 2], "note": "z"}
+        )
+        table.extend([{"zeta": 1, "alpha": 2.5, "mid": "m"}])
+        clone = ResultTable.from_json(table.to_json())
+        assert clone.columns == ["zeta", "alpha", "mid"]
+        assert clone.metadata == table.metadata
+        assert clone.to_json() == table.to_json()
+
+    def test_from_json_empty_table(self):
+        empty = ResultTable(metadata={"why": "nothing ran"})
+        clone = ResultTable.from_json(empty.to_json())
+        assert clone.columns == []
+        assert clone.records == []
+        assert clone.metadata == {"why": "nothing ran"}
+        # columns declared but no records is also a legal table
+        headed = ResultTable(columns=["a", "b"])
+        clone = ResultTable.from_json(headed.to_json())
+        assert clone.columns == ["a", "b"]
+        assert len(clone) == 0
+
+    def test_from_json_rejects_mismatched_records(self):
+        doc = {
+            "columns": ["a", "b"],
+            "records": [{"a": 1, "b": 2}, {"a": 1, "c": 3}],
+            "metadata": {},
+        }
+        import json as json_mod
+
+        with pytest.raises(ValueError, match="extra"):
+            ResultTable.from_json(json_mod.dumps(doc))
+        doc["records"] = [{"a": 1}]
+        with pytest.raises(ValueError, match="missing"):
+            ResultTable.from_json(json_mod.dumps(doc))
+
+    def test_from_json_missing_required_key(self):
+        with pytest.raises(KeyError):
+            ResultTable.from_json("{}")
+
     def test_from_sweep(self):
         from repro.analysis.sweep import sweep1d
 
@@ -286,3 +329,53 @@ class TestResultTable:
         table = ResultTable.from_sweep(sweep)
         assert table.columns == ["d", "y"]
         assert table.column("y") == [10, 20]
+
+
+class TestAggregates:
+    def test_ber_aggregate_pools_counts_exactly(self):
+        from repro.experiments import ber_aggregate
+
+        table = ResultTable()
+        table.extend([{"errors": 3, "bits": 100},
+                      {"errors": 1, "bits": 100}])
+        assert ber_aggregate(table) == {
+            "errors": 4, "bits": 200, "rate": 0.02
+        }
+        assert ber_aggregate(ResultTable()) == {
+            "errors": 0, "bits": 0, "rate": 0.0
+        }
+
+    def test_energy_aggregate_duty_cycle_economics(self):
+        from repro.experiments import energy_aggregate
+
+        table = ResultTable()
+        table.extend([
+            {"delivered": 1.0, "harvested_a_joule": 2e-9,
+             "harvested_b_joule": 1e-9, "tx_energy_joule": 4e-8,
+             "airtime_seconds": 0.2},
+            {"delivered": 0.0, "harvested_a_joule": 4e-9,
+             "harvested_b_joule": 3e-9, "tx_energy_joule": 4e-8,
+             "airtime_seconds": 0.2},
+        ])
+        out = energy_aggregate(table)
+        assert out["delivered"] == pytest.approx(0.5)
+        # cost per delivered frame doubles at 50 % delivery
+        assert out["energy_per_delivered_joule"] == pytest.approx(8e-8)
+        assert out["harvest_rate_watt"] == pytest.approx(3e-9 / 0.2)
+        assert out["sustainable_reports_per_hour"] == pytest.approx(
+            (3e-9 / 0.2) / 8e-8 * 3600.0
+        )
+
+    def test_energy_aggregate_dead_link_sustains_nothing(self):
+        from repro.experiments import energy_aggregate
+
+        table = ResultTable()
+        table.append({"delivered": 0.0, "harvested_a_joule": 1e-9,
+                      "harvested_b_joule": 1e-9,
+                      "tx_energy_joule": 4e-8, "airtime_seconds": 0.2})
+        out = energy_aggregate(table)
+        assert out["energy_per_delivered_joule"] == 0.0
+        assert out["sustainable_reports_per_hour"] == 0.0
+        assert energy_aggregate(ResultTable())[
+            "sustainable_reports_per_hour"
+        ] == 0.0

@@ -126,6 +126,63 @@ class TestScenarioSpecSerialisation:
         assert spec.asymmetry_ratio == 64
 
 
+class TestCanonicalSerialisation:
+    """The to_dict/from_dict round trip feeds the result store's hash.
+
+    These tests lock the canonical-JSON form of a spec down: stable
+    under round-tripping (no float drift), key-order independent, and —
+    for the default spec — pinned to an exact digest so any schema or
+    default change is a *conscious* cache invalidation.
+    """
+
+    def test_round_trip_is_canonical_fixed_point(self):
+        from repro.store import canonical_json
+
+        spec = ScenarioSpec(
+            distance_m=0.1 + 0.2,          # classic repr-sensitive float
+            source_power_watt=1.0e3,
+            noise_power_watt=1.0e-13,
+            bit_rate_bps=500.0,
+        )
+        text = canonical_json(spec.to_dict())
+        clone = ScenarioSpec.from_dict(json.loads(text))
+        assert clone == spec
+        assert canonical_json(clone.to_dict()) == text
+
+    def test_canonical_json_sorts_keys(self):
+        from repro.store import canonical_json
+
+        text = canonical_json(ScenarioSpec().to_dict())
+        keys = [
+            part.split(":")[0].strip('"')
+            for part in text.strip("{}").split(",")
+            if '":' in part
+        ]
+        assert keys == sorted(keys)
+
+    def test_default_spec_digest_pinned(self):
+        # The content address of every stored result starts from this
+        # hash.  If this test fails you changed the spec schema or a
+        # default value: that is a legitimate store invalidation, so
+        # update the pin (and bump repro.__version__) deliberately.
+        import hashlib
+
+        from repro.store import canonical_json
+
+        text = canonical_json(ScenarioSpec().to_dict())
+        digest = hashlib.sha256(text.encode("ascii")).hexdigest()
+        assert digest == (
+            "4ba9bebf5a990325dcb71b841fb3deb694e320d93bbaf0522dc29e02a6f8cfde"
+        )
+
+    def test_field_order_of_to_dict_does_not_matter(self):
+        from repro.store import canonical_json
+
+        doc = ScenarioSpec().to_dict()
+        shuffled = dict(sorted(doc.items(), reverse=True))
+        assert canonical_json(shuffled) == canonical_json(doc)
+
+
 class TestRegistry:
     def test_known_presets_exist(self):
         names = scenario_names()
