@@ -12,6 +12,17 @@ arm against the unslotted-ALOHA load curve: delivery must match
 ``(1 - p_loss) * exp(-2 G (N-1)/N)`` at the realised per-link offered
 load (the ``(N-1)/N`` factor is the finite-population correction to
 :func:`repro.analysis.theory.aloha_success_probability`).
+
+A second section times the same MAC trial on ``backend="serial"`` vs
+``backend="vectorized"`` (the slotted engine, ``repro.mac.batch``) with
+its own larger replication budget — the figure's 3 trials/arm cannot
+amortise a chunked engine — and emits
+``serial_trials_per_sec`` / ``vectorized_trials_per_sec`` / ``speedup``
+in BENCH_m1_contention.json, matching the bench_f7 schema so the perf
+trajectory is comparable across benches.  Run as a script with
+``--perf-guard`` for the CI regression gate: a small configuration that
+exits non-zero when the speedup drops below
+:data:`GUARD_REQUIRED_SPEEDUP`.
 """
 
 import sys
@@ -19,8 +30,9 @@ import sys
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
 import math
+import time
 
-from common import run_and_emit, save_result
+from common import emit_bench_json, run_and_emit, save_result
 
 from repro.analysis.contention import summarize_mac_table
 from repro.analysis.reporting import format_table
@@ -33,6 +45,17 @@ NUM_LINKS = 12
 LOSS = 0.1
 TRIALS = 3
 SEED = 60
+
+#: Replication budget for the serial-vs-vectorized timing section (the
+#: figure's TRIALS=3 cannot amortise the slotted engine's chunked loop).
+SPEEDUP_TRIALS = 192
+#: Load point G the timing section runs at (mid-contention).
+SPEEDUP_LOAD = 0.8
+#: Full-bench acceptance bar (matches bench_f7's REQUIRED_SPEEDUP).
+REQUIRED_SPEEDUP = 5.0
+#: CI perf-guard bar — deliberately looser than the full bench, so the
+#: gate trips on real regressions rather than noisy shared runners.
+GUARD_REQUIRED_SPEEDUP = 3.0
 
 
 def _base_spec():
@@ -78,12 +101,62 @@ def run_m1():
     return rows
 
 
+def run_speedup(trials=SPEEDUP_TRIALS, num_links=NUM_LINKS,
+                horizon_seconds=150.0, seed=SEED):
+    """Time serial vs vectorized MAC replications on one spec.
+
+    Returns the bench_f7-style stats dict.  Both backends are warmed
+    first so engine construction and lazy imports stay out of the
+    steady-state comparison.
+    """
+    base = _base_spec().replace(mac_num_links=num_links,
+                                mac_horizon_seconds=horizon_seconds)
+    packet_seconds = base.build_mac_config().packet_seconds
+    rate = SPEEDUP_LOAD / (num_links * packet_seconds)
+    spec = base.replace(mac_arrival_rate_pps=rate)
+
+    def timed(backend):
+        ExperimentRunner(trial=mac_trial, max_trials=2,
+                         backend=backend).run(spec, seed=seed)
+        runner = ExperimentRunner(trial=mac_trial, max_trials=trials,
+                                  backend=backend)
+        start = time.perf_counter()
+        table = runner.run(spec, seed=seed)
+        wall = time.perf_counter() - start
+        assert len(table) == trials
+        return table, wall
+
+    serial, serial_wall = timed("serial")
+    vectorized, vectorized_wall = timed("vectorized")
+    # The slotted engine is statistically — not bitwise — equivalent
+    # (DESIGN §7); the workload realisation, however, is replayed
+    # exactly, so the offered column must agree lane for lane.
+    offered = [r["offered_packets"] for r in serial.records]
+    if offered != [r["offered_packets"] for r in vectorized.records]:
+        raise AssertionError("vectorized workload diverged from serial")
+    return {
+        "serial_wall_time_s": serial_wall,
+        "vectorized_wall_time_s": vectorized_wall,
+        "speedup": serial_wall / vectorized_wall,
+        "serial_trials_per_sec": trials / serial_wall,
+        "vectorized_trials_per_sec": trials / vectorized_wall,
+    }
+
+
 def bench_m1_contention(benchmark):
+    perf = run_speedup()
     rows = run_and_emit(
         benchmark, "m1_contention", run_m1,
         trials=len(LOADS) * len(ARMS) * TRIALS,
         scenario="mac:replicated-load-sweep", seed=SEED,
         loads=LOADS, arms=list(ARMS), num_links=NUM_LINKS,
+        speedup_trials=SPEEDUP_TRIALS,
+        serial_wall_time_s=round(perf["serial_wall_time_s"], 6),
+        vectorized_wall_time_s=round(perf["vectorized_wall_time_s"], 6),
+        serial_trials_per_sec=round(perf["serial_trials_per_sec"], 3),
+        vectorized_trials_per_sec=round(
+            perf["vectorized_trials_per_sec"], 3),
+        speedup=round(perf["speedup"], 3),
         goodput_bps=lambda out: {
             arm: [round(r[f"{key}_goodput_bps"], 3) for r in out]
             for arm, key in (("hd-arq", "hd"), ("fd-abort", "fd"))
@@ -115,3 +188,51 @@ def bench_m1_contention(benchmark):
     # Shape 4: FD spends less energy per delivered bit than HD.
     for r in rows:
         assert r["fd_nJ_per_bit"] < r["hd_nJ_per_bit"], r
+    # Perf: the slotted engine must clear the batched-backend bar.
+    assert perf["speedup"] >= REQUIRED_SPEEDUP, (
+        f"vectorized MAC engine only {perf['speedup']:.2f}x faster "
+        f"(need >= {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def perf_guard() -> int:
+    """CI regression gate: small speedup run, non-zero exit on a miss.
+
+    Deliberately smaller than the full bench (fewer replications, a
+    shorter horizon) so the gate costs seconds, with the bar lowered to
+    :data:`GUARD_REQUIRED_SPEEDUP` to absorb shared-runner noise.  The
+    measurement lands in BENCH_m1_perf_guard.json for the artifact
+    upload either way.
+    """
+    trials, horizon = 96, 60.0
+    perf = run_speedup(trials=trials, horizon_seconds=horizon)
+    emit_bench_json(
+        "m1_perf_guard",
+        wall_time_s=perf["vectorized_wall_time_s"],
+        trials=trials,
+        scenario="mac:perf-guard", seed=SEED,
+        horizon_seconds=horizon, num_links=NUM_LINKS,
+        serial_wall_time_s=round(perf["serial_wall_time_s"], 6),
+        serial_trials_per_sec=round(perf["serial_trials_per_sec"], 3),
+        vectorized_trials_per_sec=round(
+            perf["vectorized_trials_per_sec"], 3),
+        speedup=round(perf["speedup"], 3),
+        required_speedup=GUARD_REQUIRED_SPEEDUP,
+    )
+    print(f"serial     : {perf['serial_trials_per_sec']:8.1f} trials/s")
+    print(f"vectorized : {perf['vectorized_trials_per_sec']:8.1f} trials/s")
+    print(f"speedup    : {perf['speedup']:8.2f}x "
+          f"(required >= {GUARD_REQUIRED_SPEEDUP}x)")
+    if perf["speedup"] < GUARD_REQUIRED_SPEEDUP:
+        print("PERF REGRESSION: vectorized MAC engine below the bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    if "--perf-guard" in sys.argv[1:]:
+        raise SystemExit(perf_guard())
+    raise SystemExit(
+        "run under pytest-benchmark (see bench_f7 docstring) or pass "
+        "--perf-guard"
+    )

@@ -98,10 +98,13 @@ class CampaignRunner:
         trial is dispatched.
     workers / backend:
         Execution knobs forwarded to each unit's
-        :class:`~repro.experiments.runner.ExperimentRunner`.  A
-        ``"vectorized"`` request silently falls back to the default
-        backend for kinds without a batched implementation (``mac``,
-        ``energy``) — backends do not change results, only speed.
+        :class:`~repro.experiments.runner.ExperimentRunner`.  Every
+        standard kind has a batched implementation, so ``"vectorized"``
+        applies across the board; a kind without one (none today) would
+        silently fall back to the default backend.  For the sample-level
+        kinds backends do not change results, only speed; ``mac`` units
+        run the slotted engine, a statistically-equivalent estimator of
+        the same contention process (DESIGN §7).
     """
 
     store: ResultStore

@@ -165,6 +165,7 @@ def cmd_mac(args: argparse.Namespace) -> int:
         runner = ExperimentRunner(
             trial=mac_trial, max_trials=args.trials,
             min_trials=min(2, args.trials), workers=args.workers,
+            backend=args.backend,
             stop_when=(
                 precision_budget(args.precision)
                 if args.precision is not None else None
@@ -234,9 +235,10 @@ ERROR_METRICS = ("forward-ber", "feedback-ber", "frame-delivery")
 
 #: Metric names with a batched implementation registered in
 #: :mod:`repro.experiments.batch` (kept in sync with its
-#: ``_BATCH_TRIALS`` table; the others are event-driven or
-#: energy-accounted trials with no lane-stackable hot loop).
-VECTORIZABLE_METRICS = ERROR_METRICS
+#: ``_BATCH_TRIALS`` table).  Since the slotted MAC engine landed this
+#: is every sweep metric: the error/energy kinds are bitwise identical
+#: to serial, ``mac`` is statistically equivalent (DESIGN §7).
+VECTORIZABLE_METRICS = SWEEP_METRICS
 
 
 def _parse_sweep_values(parameter: str, text: str) -> list:
@@ -293,11 +295,6 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # MAC replications are fixed-horizon simulations and energy trials
     # carry joule columns, so both always run the full budget.
     has_error_budget = args.metric in ERROR_METRICS
-    if args.backend == "vectorized" and args.metric not in VECTORIZABLE_METRICS:
-        raise _cli_error(
-            f"the {args.metric} metric has no vectorized backend "
-            "(no lane-stackable hot loop); use serial or parallel"
-        )
     aggregate = TRIAL_AGGREGATES[args.metric]
     try:
         runner = ExperimentRunner(
@@ -505,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replications per policy arm (default 3)")
     p_mac.add_argument("--workers", type=int, default=1,
                        help="parallel trial processes (default serial)")
+    add_backend_flag(p_mac)
     p_mac.add_argument("--precision", type=float, default=None,
                        help="stop an arm early once delivery is known "
                             "to +/- this half-width (95%% Wilson)")

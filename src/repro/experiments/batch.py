@@ -22,11 +22,15 @@ for trial ``i``:
    the scalar order — only the *deterministic* synthesis and DSP between
    the draws is batched (see :mod:`repro.fullduplex.batch`).
 
-Because the batched kernels are bitwise identical to their scalar
-counterparts, ``backend="vectorized"`` reproduces ``backend="serial"``
-records exactly; ``tests/test_batch_equivalence.py`` enforces this
-across registry scenarios, and ``benchmarks/bench_f7_batch_speedup.py``
-tracks the speedup the batching buys.
+For the sample-level trial kinds (the BER pair, frame delivery and the
+energy exchange) the batched kernels are bitwise identical to their
+scalar counterparts, so ``backend="vectorized"`` reproduces
+``backend="serial"`` records exactly.  The ``mac`` kind runs on the
+slotted contention engine (:mod:`repro.mac.batch`), whose slot
+quantisation makes it *statistically* rather than bitwise equivalent —
+see DESIGN §7 for the contract.  ``tests/test_batch_equivalence.py``
+enforces both, and ``benchmarks/bench_f7_batch_speedup.py`` /
+``benchmarks/bench_m1_contention.py`` track the speedups.
 
 Custom trials can join the fast path with
 :func:`register_batched_trial`, pairing a scalar ``trial(spec, rng)``
@@ -35,13 +39,16 @@ with a batched ``batch(spec, children)`` implementation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable
 
 import numpy as np
 
+from repro.experiments.mac import mac_trial
 from repro.experiments.runner import (
     BITS_PER_TRIAL,
     _stack_for,
+    energy_trial,
     feedback_ber_trial,
     forward_ber_trial,
     frame_delivery_trial,
@@ -49,11 +56,38 @@ from repro.experiments.runner import (
 from repro.experiments.spec import ScenarioSpec
 from repro.fullduplex.batch import BatchFullDuplexEngine
 from repro.fullduplex.link import DATA_PILOT_BITS
+from repro.mac.batch import SlottedMacEngine
 from repro.phy import coding as lc
 from repro.utils.rng import random_bits, spawn_rngs
 
-#: Per-process cache of batched engines, keyed by the (hashable) spec.
-_ENGINE_CACHE: dict[ScenarioSpec, BatchFullDuplexEngine] = {}
+#: Upper bound on cached engines per process (each cache separately).
+#: A campaign grid can visit hundreds of distinct specs; every engine
+#: pins a built stack, so the caches evict least-recently-used entries
+#: past this cap instead of growing without limit.
+MAX_CACHED_ENGINES = 32
+
+#: Per-process LRU cache of batched PHY engines, keyed by the spec.
+_ENGINE_CACHE: OrderedDict[ScenarioSpec, BatchFullDuplexEngine] = (
+    OrderedDict()
+)
+
+#: Per-process LRU cache of slotted MAC engines, keyed by the spec.
+_MAC_ENGINE_CACHE: OrderedDict[ScenarioSpec, SlottedMacEngine] = (
+    OrderedDict()
+)
+
+
+def _cached_engine(cache: OrderedDict, spec: ScenarioSpec, build: Callable):
+    """LRU lookup: build on miss, refresh on hit, evict past the cap."""
+    engine = cache.get(spec)
+    if engine is None:
+        engine = build(spec)
+        cache[spec] = engine
+    else:
+        cache.move_to_end(spec)
+    while len(cache) > MAX_CACHED_ENGINES:
+        cache.popitem(last=False)
+    return engine
 
 
 def _engine_for(spec: ScenarioSpec) -> BatchFullDuplexEngine:
@@ -63,11 +97,16 @@ def _engine_for(spec: ScenarioSpec) -> BatchFullDuplexEngine:
     and batched trials of one spec share a single built stack (and the
     ambient source's amortised synthesis state).
     """
-    engine = _ENGINE_CACHE.get(spec)
-    if engine is None:
-        engine = BatchFullDuplexEngine(link=_stack_for(spec).link)
-        _ENGINE_CACHE[spec] = engine
-    return engine
+    return _cached_engine(
+        _ENGINE_CACHE,
+        spec,
+        lambda s: BatchFullDuplexEngine(link=_stack_for(s).link),
+    )
+
+
+def _mac_engine_for(spec: ScenarioSpec) -> SlottedMacEngine:
+    """Build (or reuse) the slotted MAC engine for ``spec``."""
+    return _cached_engine(_MAC_ENGINE_CACHE, spec, SlottedMacEngine)
 
 
 def _lane_streams(children, count: int = 3) -> tuple[list, ...]:
@@ -221,11 +260,105 @@ def batch_frame_delivery_trials(spec: ScenarioSpec, children) -> list[dict]:
     return records
 
 
+def batch_energy_trials(spec: ScenarioSpec, children) -> list[dict]:
+    """Batched :func:`~repro.experiments.runner.energy_trial` (bitwise).
+
+    Same staging as :func:`batch_frame_delivery_trials` but with *both*
+    antennas' incident fields composed (the harvest books need A's side
+    too), then the scalar receive chain and the deterministic energy
+    accounting per lane — record-for-record identical to the scalar
+    trial.
+    """
+    from repro.hardware.energy import EnergyModel
+    from repro.phy.framing import build_frame, random_frame
+    from repro.phy.receiver import BackscatterReceiver
+    from repro.phy.transmitter import BackscatterTransmitter
+
+    children = list(children)
+    if not children:
+        return []
+    stack = _stack_for(spec)
+    engine = _engine_for(spec)
+    rng_ch, rng_frame, rng_fb, rng_run = _lane_streams(children, 4)
+    gains = stack.channel.realize_batch(stack.scene, rng_ch)
+    payload_bytes = 16
+    frames = [random_frame(payload_bytes, r) for r in rng_frame]
+    fb = np.stack(
+        [
+            random_bits(
+                r,
+                max(1, (payload_bytes * 8 + 64) // spec.asymmetry_ratio),
+            )
+            for r in rng_fb
+        ]
+    )
+    phy = stack.config.phy
+    tx = BackscatterTransmitter(phy, states=stack.link.states_a)
+    waves = np.stack([tx.transmit(f).chip_waveform for f in frames])
+    staged = engine.stage(
+        gains, waves, fb, feedback_enabled=True, rngs=rng_run,
+        need_a=True, need_b=True,
+    )
+    rx_b = BackscatterReceiver(
+        phy,
+        states=stack.link.states_b,
+        self_compensation=stack.config.self_compensation,
+    )
+    rx_a = BackscatterReceiver(phy, states=stack.link.states_a)
+    model = EnergyModel()
+    records = []
+    for lane, frame in enumerate(frames):
+        result = rx_b.receive_frame(
+            staged.incident_b[lane], own_chip_waveform=staged.chips_b[lane]
+        )
+        ok = result.delivered and np.array_equal(
+            result.frame.payload_bits, frame.payload_bits
+        )
+        harvested_a = rx_a.front_end.harvested_energy(
+            staged.incident_a[lane], staged.chips_a[lane]
+        )
+        harvested_b = rx_b.front_end.harvested_energy(
+            staged.incident_b[lane], staged.chips_b[lane]
+        )
+        air_bits = int(build_frame(frame, phy.warmup_bits).size)
+        records.append({
+            "delivered": 1.0 if ok else 0.0,
+            "harvested_a_joule": float(harvested_a),
+            "harvested_b_joule": float(harvested_b),
+            "tx_energy_joule": float(model.tx_cost(air_bits)),
+            "airtime_seconds": air_bits / spec.bit_rate_bps,
+        })
+    return records
+
+
+def batch_mac_trials(spec: ScenarioSpec, children) -> list[dict]:
+    """Batched :func:`~repro.experiments.mac.mac_trial` (statistical).
+
+    Runs whole chunks of contention replications on the slotted engine
+    (:class:`repro.mac.batch.SlottedMacEngine`).  Offered workloads are
+    bit-identical to the serial trials'; delivery/abort/energy dynamics
+    are statistically equivalent under the slot-quantisation contract
+    documented in DESIGN §7 and pinned by the golden suite.
+    """
+    children = list(children)
+    if not children:
+        return []
+    return _mac_engine_for(spec).run_chunk(children)
+
+
+# The slot loop's per-iteration cost is amortised across lanes, so the
+# MAC batch wants far more lanes per call than the sample-level trials
+# (whose memory footprint per lane is a full waveform window).
+batch_mac_trials.preferred_chunk = 512
+
+
 #: Scalar trial function → batched implementation.
 _BATCH_TRIALS: dict[Callable, Callable] = {
     forward_ber_trial: batch_forward_ber_trials,
     feedback_ber_trial: batch_feedback_ber_trials,
     frame_delivery_trial: batch_frame_delivery_trials,
+    energy_trial: batch_energy_trials,
+    mac_trial: batch_mac_trials,
 }
 
 

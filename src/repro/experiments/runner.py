@@ -9,8 +9,11 @@ arrays (:mod:`repro.experiments.batch`).  Reproducibility rests on
 :class:`numpy.random.SeedSequence`: the root seed spawns one child
 sequence per trial index *before* any work is dispatched, so trial ``i``
 sees the same stream no matter which process — or which batch lane —
-runs it.  All three backends produce **bitwise-identical records** for
-the same seed.
+runs it.  Serial and parallel are **bitwise identical** for every trial
+kind, and the vectorized backend matches them bitwise for every
+sample-level kind; the ``mac`` kind's vectorized path runs on a slotted
+engine that is statistically rather than bitwise equivalent (DESIGN
+§7).
 
 Adaptive stopping generalises the ``min_errors`` / ``max_trials`` logic
 of :mod:`repro.analysis.ber`: a ``stop_when(records)`` predicate is
@@ -19,12 +22,13 @@ at the earliest trial where it fires.  A parallel run may compute a few
 trials beyond that point (they are in flight when the budget is met) but
 discards them, keeping serial and parallel outputs identical.
 
-The module also ships the three standard trial functions (forward BER,
-feedback BER, frame delivery) as module-level picklable callables, with
-a per-process stack cache so workers build each scenario only once.
-The fourth standard trial kind — one seeded MAC contention replication
-per trial — lives in :mod:`repro.experiments.mac` (:func:`mac_trial`)
-and runs on the same serial/parallel machinery.
+The module also ships four standard trial functions (forward BER,
+feedback BER, frame delivery, energy exchange) as module-level
+picklable callables, with a per-process stack cache so workers build
+each scenario only once.  The fifth standard trial kind — one seeded
+MAC contention replication per trial — lives in
+:mod:`repro.experiments.mac` (:func:`mac_trial`).  Every standard kind
+runs on all three backends.
 """
 
 from __future__ import annotations
@@ -151,7 +155,7 @@ class ExperimentRunner:
         (default) infers serial/parallel from ``workers``, preserving
         the historical constructor.  ``"vectorized"`` requires the
         trial to have a batched implementation registered in
-        :mod:`repro.experiments.batch` (the three standard trials do).
+        :mod:`repro.experiments.batch` (every standard trial kind does).
     """
 
     trial: Callable[[ScenarioSpec, np.random.Generator], dict]
@@ -342,9 +346,13 @@ class ExperimentRunner:
         from repro.experiments.batch import batched_trial_for
 
         batch_trial = batched_trial_for(self.trial)
-        chunk = self.chunk_size or min(
-            self.max_trials, DEFAULT_VECTORIZED_CHUNK
+        # A batched trial may declare its own sweet spot (the MAC slot
+        # loop amortises per-slot cost over lanes and wants big chunks;
+        # waveform-staging trials are memory-bound and want small ones).
+        preferred = getattr(
+            batch_trial, "preferred_chunk", DEFAULT_VECTORIZED_CHUNK
         )
+        chunk = self.chunk_size or min(self.max_trials, preferred)
         check_positive("chunk_size", chunk)
         records: list[dict] = []
         for start in range(first_trial, self.max_trials, chunk):
@@ -540,9 +548,9 @@ def energy_trial(spec: ScenarioSpec, rng) -> dict:
     (from the staged incident fields) and the transmitter's spend for
     the over-the-air bits under the default
     :class:`~repro.hardware.energy.EnergyModel`.  Feeds the
-    range-versus-duty-cycle campaign via :func:`energy_aggregate`; no
-    vectorized implementation (the energy path is not lane-stacked), so
-    it runs on the serial and parallel backends.
+    range-versus-duty-cycle campaign via :func:`energy_aggregate`; the
+    vectorized backend runs it bitwise-identically through
+    :func:`repro.experiments.batch.batch_energy_trials`.
     """
     from repro.hardware.energy import EnergyModel
     from repro.phy.framing import random_frame

@@ -19,8 +19,12 @@ function of exactly five inputs, and the key hashes all five:
    boundary).
 
 The backend, worker count and chunk size are deliberately **not** in
-the key: all backends are bitwise identical for the same seed, so they
-are execution details, not result identity.
+the key: backends are execution details, not result identity.  Every
+backend is bitwise identical for the same seed on every kind except
+``mac``, whose vectorized path is a slotted engine that is
+statistically rather than bitwise equivalent (DESIGN §7) — a stored
+``mac`` table is one valid realisation of the keyed experiment,
+whichever backend wrote it first.
 
 Because ``n_trials`` enters the hash last, every key also carries a
 *base* digest over the other four inputs.  Entries sharing a base are

@@ -278,13 +278,14 @@ class TestCampaignRunner:
         assert len(seen) == 2
         assert all(outcome == "miss" for _, outcome in seen)
 
-    def test_vectorized_falls_back_for_unbatched_kinds(self, tmp_path):
+    def test_vectorized_applies_to_every_kind(self, tmp_path):
+        # Since the slotted MAC engine landed, every standard kind has
+        # a batched implementation — no fallback remains to trigger.
         runner = CampaignRunner(
             store=ResultStore(tmp_path), backend="vectorized"
         )
-        assert runner._backend_for("forward-ber") == "vectorized"
-        assert runner._backend_for("mac") is None
-        assert runner._backend_for("energy") is None
+        for kind in TRIAL_KINDS:
+            assert runner._backend_for(kind) == "vectorized", kind
 
 
 class TestCampaignCli:
