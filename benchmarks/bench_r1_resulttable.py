@@ -1,0 +1,234 @@
+"""R1 — Columnar ResultTable: binary store codec + adaptive allocation.
+
+Two claims behind the store re-platform, gated in CI (ISSUE 8):
+
+* **codec** — `ResultStore.put`/`get` on the binary ``.rpt`` codec is
+  at least :data:`REQUIRED_SPEEDUP`× faster per 1k-record table than
+  the first-generation JSON/dict format (re-measured here as
+  ``to_json``/``from_json`` file round trips, exactly what the old
+  store did);
+* **allocation** — on a 3-cell grid with deliberately unequal variance,
+  adaptive Wilson-width allocation reaches the same max interval width
+  as the fixed-budget baseline with at most
+  :data:`REQUIRED_TRIALS_RATIO` of the trials.
+
+Run as a script (the CI full job does): prints both tables, writes
+``BENCH_r1_resulttable.json``, exits non-zero if either bar is missed.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+import tempfile
+import time
+from pathlib import Path
+
+from common import emit_bench_json, save_result
+
+from repro.analysis.reporting import format_table
+from repro.campaigns import CampaignRunner, CampaignSpec, adaptive_run
+from repro.campaigns.adaptive import WILSON_COUNTS, _ratio_counts, unit_width
+from repro.experiments import TRIAL_AGGREGATES, TRIAL_KINDS, get_scenario
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import ber_aggregate
+from repro.store import ResultStore, cached_run, result_key
+
+SEED = 7
+N_RECORDS = 1_000
+REPEATS = 5
+
+#: CI bars (ISSUE 8 acceptance criteria).
+REQUIRED_SPEEDUP = 3.0
+REQUIRED_TRIALS_RATIO = 0.7
+
+#: Adaptive-vs-fixed grid: Bernoulli cells spanning 25x in variance.
+GRID_PROBS = (0.02, 0.1, 0.5)
+PRECISION = 0.08
+FLOOR = 8
+
+
+def _sample_table(n: int) -> ResultTable:
+    """A realistic trial table: int, float and str columns."""
+    table = ResultTable(metadata={"kind": "bench", "seed": SEED,
+                                  "n_trials": n})
+    for i in range(n):
+        table.append({
+            "trial": i,
+            "errors": (i * 7) % 3,
+            "bits": 256,
+            "ber": ((i * 7) % 3) / 256.0,
+            "arm": "fd-abort" if i % 2 else "hd-arq",
+        })
+    return table
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_codec() -> dict:
+    """put+get wall time per 1k-record table: JSON baseline vs binary."""
+    table = _sample_table(N_RECORDS)
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "trials-1000.json"
+
+        def json_put():
+            json_path.write_text(table.to_json() + "\n")
+
+        def json_get():
+            ResultTable.from_json(json_path.read_text())
+
+        json_put_s = _best_of(REPEATS, json_put)
+        json_get_s = _best_of(REPEATS, json_get)
+
+        store = ResultStore(Path(tmp) / "store")
+        key = result_key(get_scenario("calibrated-default"), "forward-ber",
+                         N_RECORDS, SEED)
+        binary_put_s = _best_of(REPEATS, lambda: store.put(key, table))
+        binary_get_s = _best_of(REPEATS, lambda: store.get(key))
+        blob_bytes = store.path_for(key).stat().st_size
+        json_bytes = json_path.stat().st_size
+
+    json_total = json_put_s + json_get_s
+    binary_total = binary_put_s + binary_get_s
+    return {
+        "json_put_ms": json_put_s * 1e3,
+        "json_get_ms": json_get_s * 1e3,
+        "binary_put_ms": binary_put_s * 1e3,
+        "binary_get_ms": binary_get_s * 1e3,
+        "json_total_ms": json_total * 1e3,
+        "binary_total_ms": binary_total * 1e3,
+        "speedup": json_total / binary_total,
+        "json_bytes": json_bytes,
+        "binary_bytes": blob_bytes,
+    }
+
+
+def _bernoulli_trial(spec, rng) -> dict:
+    """One Bernoulli draw; ``mac_loss_probability`` is the knob."""
+    return {
+        "errors": int(rng.random() < spec.mac_loss_probability),
+        "bits": 1,
+    }
+
+
+def _bench_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-r1-adaptive",
+        kinds=("bench-bernoulli",),
+        grid={"mac_loss_probability": GRID_PROBS},
+        n_trials=FLOOR,
+        seed=SEED,
+    )
+
+
+def bench_allocation() -> dict:
+    """Trials-to-precision: adaptive vs uniform doubling baseline."""
+    TRIAL_KINDS["bench-bernoulli"] = _bernoulli_trial
+    TRIAL_AGGREGATES["bench-bernoulli"] = ber_aggregate
+    WILSON_COUNTS["bench-bernoulli"] = _ratio_counts("errors", "bits")
+    camp = _bench_campaign()
+    target = 2.0 * PRECISION
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = CampaignRunner(store=ResultStore(Path(tmp) / "adaptive"))
+        adaptive = adaptive_run(runner, camp, precision=PRECISION)
+        assert adaptive.converged, "adaptive run failed to converge"
+
+        # Fixed baseline: every cell at the same budget, doubled until
+        # the widest cell clears the same target.
+        fixed_store = ResultStore(Path(tmp) / "fixed")
+        fixed_runner = CampaignRunner(store=fixed_store)
+        n = FLOOR
+        while True:
+            widths = []
+            for unit in camp.units(n_trials=n):
+                out = cached_run(fixed_store,
+                                 fixed_runner.runner_for(unit),
+                                 unit.spec, seed=unit.seed)
+                widths.append(unit_width(unit.kind, out.table))
+            if max(widths) <= target:
+                break
+            n *= 2
+        fixed_total = n * len(GRID_PROBS)
+    return {
+        "adaptive_trials": adaptive.total_trials,
+        "adaptive_budgets": [c.n_trials for c in adaptive.cells],
+        "adaptive_max_width": adaptive.max_width,
+        "fixed_trials": fixed_total,
+        "fixed_trials_per_cell": n,
+        "fixed_max_width": max(widths),
+        "trials_ratio": adaptive.total_trials / fixed_total,
+        "rounds": adaptive.rounds,
+    }
+
+
+def main() -> int:
+    codec = bench_codec()
+    alloc = bench_allocation()
+
+    rows = [
+        ("json", f"{codec['json_put_ms']:.3f}",
+         f"{codec['json_get_ms']:.3f}", f"{codec['json_bytes']}"),
+        ("binary", f"{codec['binary_put_ms']:.3f}",
+         f"{codec['binary_get_ms']:.3f}", f"{codec['binary_bytes']}"),
+    ]
+    text = format_table(
+        ["format", "put_ms/1k", "get_ms/1k", "bytes"], rows
+    )
+    text += (f"\nput+get speedup: {codec['speedup']:.2f}x "
+             f"(required >= {REQUIRED_SPEEDUP}x)\n")
+    text += format_table(
+        ["allocation", "trials", "max_width"],
+        [("adaptive", alloc["adaptive_trials"],
+          f"{alloc['adaptive_max_width']:.4f}"),
+         ("fixed", alloc["fixed_trials"],
+          f"{alloc['fixed_max_width']:.4f}")],
+    )
+    text += (f"\ntrials ratio: {alloc['trials_ratio']:.3f} "
+             f"(required <= {REQUIRED_TRIALS_RATIO})")
+    save_result("r1_resulttable", text)
+
+    emit_bench_json(
+        "r1_resulttable",
+        wall_time_s=(codec["json_total_ms"] + codec["binary_total_ms"])
+        / 1e3,
+        trials=N_RECORDS,
+        scenario="store:codec+adaptive", seed=SEED,
+        json_put_ms=round(codec["json_put_ms"], 4),
+        json_get_ms=round(codec["json_get_ms"], 4),
+        binary_put_ms=round(codec["binary_put_ms"], 4),
+        binary_get_ms=round(codec["binary_get_ms"], 4),
+        put_get_speedup=round(codec["speedup"], 3),
+        required_speedup=REQUIRED_SPEEDUP,
+        json_bytes=codec["json_bytes"],
+        binary_bytes=codec["binary_bytes"],
+        adaptive_trials=alloc["adaptive_trials"],
+        adaptive_budgets=alloc["adaptive_budgets"],
+        fixed_trials=alloc["fixed_trials"],
+        trials_ratio=round(alloc["trials_ratio"], 4),
+        required_trials_ratio=REQUIRED_TRIALS_RATIO,
+        adaptive_rounds=alloc["rounds"],
+    )
+
+    failed = False
+    if codec["speedup"] < REQUIRED_SPEEDUP:
+        print(f"PERF REGRESSION: binary codec only "
+              f"{codec['speedup']:.2f}x faster (need >= "
+              f"{REQUIRED_SPEEDUP}x)")
+        failed = True
+    if alloc["trials_ratio"] > REQUIRED_TRIALS_RATIO:
+        print(f"ALLOCATION REGRESSION: adaptive used "
+              f"{alloc['trials_ratio']:.3f} of the fixed trials "
+              f"(need <= {REQUIRED_TRIALS_RATIO})")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

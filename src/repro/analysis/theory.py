@@ -79,6 +79,16 @@ def wilson_interval(
     return max(0.0, centre - half), min(1.0, centre + half)
 
 
+def wilson_halfwidth(errors: int, trials: int, z: float = 1.96) -> float:
+    """Half the width of the Wilson interval — the ``±`` precision.
+
+    The adaptive campaign scheduler's convergence measure: a grid cell
+    is "precise to ±p" once ``wilson_halfwidth(k, n) <= p``.
+    """
+    low, high = wilson_interval(errors, trials, z)
+    return 0.5 * (high - low)
+
+
 def expected_abort_savings_fraction(
     asymmetry_ratio: int,
     detection_latency_bits: int,

@@ -10,6 +10,12 @@ stored prefix instead of recomputing it.  The built-ins
 ``fig-energy-vs-range``) reproduce the paper's core results end to end;
 ``repro campaign run/status/report`` is the CLI surface.
 
+``repro campaign run --adaptive`` swaps the uniform per-cell budget for
+:func:`adaptive_run` — successive-halving allocation that grants trials
+to the grid cells with the widest Wilson intervals until a target
+precision (``--precision``) or a total trial budget (``--budget``) is
+reached.
+
 Quickstart::
 
     from repro.campaigns import CampaignRunner, get_campaign
@@ -22,6 +28,13 @@ Quickstart::
         print(kind); print(table.format())
 """
 
+from repro.campaigns.adaptive import (
+    WILSON_COUNTS,
+    AdaptiveCell,
+    AdaptiveRunResult,
+    adaptive_run,
+    register_wilson_counts,
+)
 from repro.campaigns.builtin import (
     campaign,
     campaign_names,
@@ -37,14 +50,19 @@ from repro.campaigns.runner import (
 from repro.campaigns.spec import CampaignSpec, CampaignUnit
 
 __all__ = [
+    "WILSON_COUNTS",
+    "AdaptiveCell",
+    "AdaptiveRunResult",
     "CampaignRunner",
     "CampaignRunResult",
     "CampaignSpec",
     "CampaignUnit",
     "MissingUnitsError",
+    "adaptive_run",
     "campaign",
     "campaign_names",
     "describe_campaigns",
     "get_campaign",
     "register_campaign",
+    "register_wilson_counts",
 ]

@@ -260,6 +260,7 @@ class CampaignRunner:
         *,
         n_trials: int | None = None,
         seed: int | None = None,
+        units: list[CampaignUnit] | None = None,
     ) -> dict[str, ResultTable]:
         """Aggregate tables per trial kind, from the store alone.
 
@@ -269,8 +270,15 @@ class CampaignRunner:
         trial count.  Deterministic bytes for a given store state —
         running a campaign twice and reporting after each run yields
         identical output.
+
+        ``units`` overrides the uniform-budget expansion — how an
+        adaptive run (heterogeneous per-cell budgets,
+        :func:`repro.campaigns.adaptive.adaptive_run`) reports: the
+        per-row ``n_trials`` column then carries each cell's granted
+        budget.
         """
-        units = campaign.units(n_trials=n_trials, seed=seed)
+        if units is None:
+            units = campaign.units(n_trials=n_trials, seed=seed)
         missing = [u for u in units if not self.store.has(u.key())]
         if missing:
             raise MissingUnitsError(missing)

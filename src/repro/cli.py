@@ -343,6 +343,40 @@ def _campaign_runner(args):
     )
 
 
+def _run_adaptive(args, runner, camp, format_table) -> int:
+    """``campaign run --adaptive``: Wilson-width-driven allocation."""
+    from repro.campaigns import adaptive_run
+    from repro.campaigns.adaptive import adaptive_checkpoint_path
+
+    def ticker(round_index, budgets, widths):
+        print(f"  round {round_index}: {sum(budgets)} trials allocated, "
+              f"max width {max(widths):.4f}")
+
+    try:
+        result = adaptive_run(
+            runner, camp,
+            precision=args.precision,
+            budget=args.budget,
+            n_initial=args.trials,
+            seed=args.campaign_seed,
+            progress=ticker,
+        )
+    except ValueError as exc:
+        raise _cli_error(exc) from None
+    rows = [
+        (cell.unit.label(), cell.n_trials, f"{cell.width:.4f}")
+        for cell in result.cells
+    ]
+    print(format_table(["unit", "n_trials", "wilson_width"], rows))
+    verdict = "converged" if result.converged else "budget exhausted"
+    print(f"campaign {camp.name} (adaptive): {verdict} after "
+          f"{result.rounds} round(s), {result.total_trials} trials "
+          f"allocated ({result.trials_computed} computed), "
+          f"max width {result.max_width:.4f}, store {runner.store.root}")
+    print(f"checkpoint: {adaptive_checkpoint_path(runner, camp)}")
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Named paper-figure campaigns over the result store.
 
@@ -367,7 +401,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     runner = _campaign_runner(args)
     overrides = {"n_trials": args.trials, "seed": args.campaign_seed}
+    if args.action == "run" and getattr(args, "adaptive", False):
+        return _run_adaptive(args, runner, camp, format_table)
     if args.action == "run":
+        if args.precision is not None or args.budget is not None:
+            raise _cli_error(
+                "--precision/--budget require --adaptive"
+            )
         try:
             total = len(camp.units(**overrides))
         except ValueError as exc:
@@ -575,6 +615,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="parallel trial processes per unit "
                              "(default serial)")
     add_backend_flag(p_crun)
+    p_crun.add_argument("--adaptive", action="store_true",
+                        help="allocate trials adaptively: grow the "
+                             "budget of the grid cells with the widest "
+                             "Wilson intervals (successive halving) "
+                             "instead of spending --trials uniformly; "
+                             "--trials becomes the per-cell floor")
+    p_crun.add_argument("--precision", type=float, default=None,
+                        help="with --adaptive: stop once every cell's "
+                             "pooled proportion is known to +/- this "
+                             "95%% Wilson half-width")
+    p_crun.add_argument("--budget", type=int, default=None,
+                        help="with --adaptive: cap on the summed "
+                             "per-cell trial budgets")
     p_crun.set_defaults(func=cmd_campaign, action="run")
 
     p_cstat = camp_sub.add_parser(

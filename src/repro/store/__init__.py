@@ -9,10 +9,14 @@ package owns that address space:
   spec dict canonicalises to) and :func:`result_key` (the sha256
   content address, split into a trial-sequence ``base`` and a
   per-budget ``digest``);
+* :mod:`repro.store.codec` — the versioned binary payload format
+  (``.rpt``): numeric columns as raw little-endian buffers, everything
+  else strict JSON; unreadable payloads raise :class:`CodecError`;
 * :mod:`repro.store.store` — :class:`ResultStore`, ``get``/``put``/
-  ``has`` of :class:`~repro.experiments.results.ResultTable` JSON under
-  ``~/.cache/repro`` (override with ``--store`` or ``$REPRO_STORE``),
-  plus the prefix queries behind truncation and top-up;
+  ``has`` of :class:`~repro.experiments.results.ResultTable` binary
+  payloads under ``~/.cache/repro`` (override with ``--store`` or
+  ``$REPRO_STORE``), plus the prefix queries behind truncation and
+  top-up; legacy JSON entries are read and migrated transparently;
 * :mod:`repro.store.cache` — :func:`cached_run`, which satisfies a
   runner request from the store, computing only the missing trial
   suffix (the *incremental top-up* contract).
@@ -35,6 +39,7 @@ Quickstart::
 """
 
 from repro.store.cache import OUTCOMES, CachedRun, cached_run, canonical_table
+from repro.store.codec import CODEC_VERSION, CodecError
 from repro.store.keys import (
     CODE_VERSION,
     ResultKey,
@@ -51,7 +56,9 @@ from repro.store.store import (
 )
 
 __all__ = [
+    "CODEC_VERSION",
     "CODE_VERSION",
+    "CodecError",
     "DEFAULT_ROOT",
     "OUTCOMES",
     "STORE_ENV",

@@ -13,8 +13,9 @@
   have produced at those indices), concatenate, store;
 * **miss** — nothing stored: run all ``n`` trials, store.
 
-All four paths return byte-identical stored JSON for the same key —
-the acceptance property the campaign tests pin down.  Both prefix
+All four paths return byte-identical stored payloads for the same key
+(the binary codec encode is deterministic) — the acceptance property
+the campaign tests pin down.  Both prefix
 tricks are sound only because a fixed-budget run's record ``i`` is a
 pure function of ``(spec, root seed, i)`` (DESIGN §7); adaptive
 stopping breaks that, so a runner with ``stop_when`` set is refused.

@@ -1,0 +1,184 @@
+"""Binary on-disk codec for :class:`ResultTable` (store format ``.rpt``).
+
+The JSON store payloads the first store generation wrote spent most of
+their put/get time in ``json.dumps``/``json.loads`` re-typing every
+scalar of every record.  This codec serialises the table the way it is
+now held in memory — per-column typed arrays — so numeric columns round
+trip as raw little-endian buffers (one ``tobytes``/``frombuffer`` pair
+per column) and only object columns and metadata pay the JSON tax.
+
+Layout (all integers little-endian)::
+
+    bytes 0..3    MAGIC  b"RPT1"
+    bytes 4..5    codec version (u16)
+    bytes 6..9    header length H (u32)
+    bytes 10..    header: UTF-8 JSON (strict; non-finite floats use the
+                  ``$nonfinite`` sentinel encoding of
+                  :mod:`repro.experiments.results`)
+    then          column payloads, concatenated in header order
+
+Header document::
+
+    {"n": <record count>,
+     "metadata": <table metadata, sentinel-encoded>,
+     "columns": [{"name": …, "kind": "b1"|"i8"|"f8"|"json",
+                  "nbytes": <payload size>}, …]}
+
+Numeric payloads are the raw array bytes (``b1`` bool, ``i8`` int64,
+``f8`` float64 — NaN/Inf survive bitwise for free).  ``json`` payloads
+are a sentinel-encoded JSON list of the column's python values.
+
+The codec is versioned *independently* of the result address space:
+:data:`CODEC_VERSION` bumps when these bytes change shape, while
+``repro.store.keys.CODE_VERSION`` bumps when the simulation itself
+changes.  A payload from a different codec version raises
+:class:`CodecError`, which :class:`~repro.store.store.ResultStore`
+treats as a cache miss — never as a crash in a campaign run.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.experiments.results import (
+    ResultTable,
+    decode_nonfinite,
+    encode_nonfinite,
+)
+
+#: First four bytes of every ``.rpt`` payload.
+MAGIC = b"RPT1"
+
+#: Version of the binary layout (not of the simulation — that is
+#: ``CODE_VERSION``).  Bump on any change to these bytes.
+CODEC_VERSION = 1
+
+_HEADER = struct.Struct("<4sHI")
+
+#: dtype ↔ column-kind tags for raw numeric payloads.
+_KIND_OF_DTYPE = {
+    np.dtype(np.bool_): "b1",
+    np.dtype(np.int64): "i8",
+    np.dtype(np.float64): "f8",
+}
+_DTYPE_OF_KIND = {
+    "b1": np.dtype(np.bool_),
+    "i8": np.dtype("<i8"),
+    "f8": np.dtype("<f8"),
+}
+
+
+class CodecError(ValueError):
+    """Unreadable binary payload (corrupt, truncated, wrong version)."""
+
+
+def encode(table: ResultTable) -> bytes:
+    """``table`` as a self-contained binary payload.
+
+    Deterministic: equal tables encode to equal bytes, which is what
+    keeps the store's four ``cached_run`` outcomes byte-identical on
+    disk.
+    """
+    specs = []
+    payloads = []
+    for name in table.columns:
+        values = table.array(name)
+        kind = _KIND_OF_DTYPE.get(values.dtype)
+        if kind is None:
+            blob = json.dumps(
+                encode_nonfinite(table.column(name)),
+                separators=(",", ":"),
+                allow_nan=False,
+            ).encode("utf-8")
+            kind = "json"
+        else:
+            blob = values.astype(f"<{kind}", copy=False).tobytes()
+        specs.append({"name": name, "kind": kind, "nbytes": len(blob)})
+        payloads.append(blob)
+    header = json.dumps(
+        {
+            "n": len(table),
+            "metadata": encode_nonfinite(table.metadata),
+            "columns": specs,
+        },
+        separators=(",", ":"),
+        allow_nan=False,
+    ).encode("utf-8")
+    return b"".join(
+        [_HEADER.pack(MAGIC, CODEC_VERSION, len(header)), header, *payloads]
+    )
+
+
+def decode(blob: bytes) -> ResultTable:
+    """Inverse of :func:`encode`.
+
+    Raises
+    ------
+    CodecError
+        On any malformed payload: wrong magic, unknown codec version,
+        truncation, or a header/payload that does not parse.  Callers
+        (the store) turn this into a cache miss.
+    """
+    if len(blob) < _HEADER.size:
+        raise CodecError(f"payload too short ({len(blob)} bytes)")
+    magic, version, header_len = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r}")
+    if version != CODEC_VERSION:
+        raise CodecError(
+            f"codec version {version} (this build reads {CODEC_VERSION})"
+        )
+    offset = _HEADER.size
+    if len(blob) < offset + header_len:
+        raise CodecError("truncated header")
+    try:
+        header = json.loads(blob[offset:offset + header_len])
+        n = int(header["n"])
+        metadata = decode_nonfinite(dict(header["metadata"]))
+        specs = list(header["columns"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CodecError(f"unreadable header: {exc}") from exc
+    offset += header_len
+    names = []
+    arrays = []
+    for spec in specs:
+        try:
+            name, kind, nbytes = spec["name"], spec["kind"], int(spec["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CodecError(f"unreadable column spec {spec!r}") from exc
+        if len(blob) < offset + nbytes:
+            raise CodecError(f"truncated payload for column {name!r}")
+        payload = blob[offset:offset + nbytes]
+        offset += nbytes
+        if kind == "json":
+            try:
+                values = decode_nonfinite(json.loads(payload))
+            except ValueError as exc:
+                raise CodecError(
+                    f"unreadable object column {name!r}: {exc}"
+                ) from exc
+        else:
+            dtype = _DTYPE_OF_KIND.get(kind)
+            if dtype is None:
+                raise CodecError(f"unknown column kind {kind!r}")
+            if nbytes != n * dtype.itemsize:
+                raise CodecError(
+                    f"column {name!r} holds {nbytes} bytes, "
+                    f"expected {n * dtype.itemsize}"
+                )
+            values = np.frombuffer(payload, dtype=dtype)
+        if len(values) != n:
+            raise CodecError(
+                f"column {name!r} holds {len(values)} values, expected {n}"
+            )
+        names.append(name)
+        arrays.append(values)
+    try:
+        table = ResultTable._from_columns(names, arrays, metadata)
+    except ValueError as exc:
+        raise CodecError(str(exc)) from exc
+    table._size = n
+    return table

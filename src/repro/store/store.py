@@ -1,10 +1,18 @@
 """Content-addressed on-disk store of :class:`ResultTable`\\ s.
 
-Layout (everything JSON, everything human-inspectable)::
+Layout::
 
     <root>/
-      results/<base[:2]>/<base>/trials-<n>.json   one table per budget
+      results/<base[:2]>/<base>/trials-<n>.rpt    one table per budget
       campaigns/<name>.json                       campaign checkpoints
+
+Result payloads are binary (``.rpt``, :mod:`repro.store.codec`) —
+roughly an order of magnitude faster to put/get than the JSON documents
+the first store generation wrote.  Legacy ``trials-<n>.json`` entries
+stay readable: ``get`` falls back to them and migrates them to ``.rpt``
+on first read (the JSON file is left behind for human inspection).
+JSON remains the *export* format — ``table.to_json()`` — it is just no
+longer the storage format.
 
 ``base`` is the :class:`~repro.store.keys.ResultKey` base digest — the
 identity of a trial *sequence* — and each file under it holds the
@@ -20,22 +28,35 @@ of each other, which the store exploits two ways:
   reports the best prefix via :meth:`ResultStore.best_prefix`).
 
 Writes are atomic (temp file + ``os.replace``) so a killed campaign
-never leaves a half-written table behind.
+never leaves a half-written table behind.  Reads are defensive: a
+truncated, corrupt or wrong-codec-version payload is **a logged cache
+miss, never an exception** — a damaged store entry costs a recompute,
+not a campaign crash, and the next ``put`` overwrites it.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import pathlib
 
 from repro.experiments.results import ResultTable
+from repro.store.codec import CodecError, decode, encode
 from repro.store.keys import ResultKey
+
+log = logging.getLogger("repro.store")
 
 #: Environment variable overriding the default store location.
 STORE_ENV = "REPRO_STORE"
 
 #: Default store root when neither ``--store`` nor the env var is set.
 DEFAULT_ROOT = "~/.cache/repro"
+
+#: Suffix of binary result payloads (current format).
+RESULT_SUFFIX = ".rpt"
+
+#: Suffix of first-generation JSON payloads (read-only fallback).
+LEGACY_SUFFIX = ".json"
 
 
 def default_store_root() -> pathlib.Path:
@@ -49,6 +70,13 @@ def _atomic_write(path: pathlib.Path, text: str) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _atomic_write_bytes(path: pathlib.Path, blob: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(blob)
     os.replace(tmp, path)
 
 
@@ -79,7 +107,11 @@ class ResultStore:
 
     def path_for(self, key: ResultKey) -> pathlib.Path:
         """Where the exact-budget table of ``key`` lives (or would)."""
-        return self._base_dir(key) / f"trials-{key.n_trials}.json"
+        return self._base_dir(key) / f"trials-{key.n_trials}{RESULT_SUFFIX}"
+
+    def legacy_path_for(self, key: ResultKey) -> pathlib.Path:
+        """Where a first-generation JSON payload of ``key`` would live."""
+        return self._base_dir(key) / f"trials-{key.n_trials}{LEGACY_SUFFIX}"
 
     def campaign_dir(self) -> pathlib.Path:
         """Where campaign checkpoints live."""
@@ -89,14 +121,44 @@ class ResultStore:
 
     def has(self, key: ResultKey) -> bool:
         """Whether the exact budget of ``key`` is stored."""
-        return self.path_for(key).is_file()
+        return (
+            self.path_for(key).is_file()
+            or self.legacy_path_for(key).is_file()
+        )
 
     def get(self, key: ResultKey) -> ResultTable | None:
-        """The stored table for ``key``'s exact budget, else ``None``."""
+        """The stored table for ``key``'s exact budget, else ``None``.
+
+        Unreadable payloads (truncated, corrupt, wrong codec version)
+        are logged and reported as a miss — the caller recomputes and
+        the next ``put`` repairs the entry.  A readable legacy JSON
+        payload is migrated to the binary format on the way out.
+        """
         path = self.path_for(key)
-        if not path.is_file():
-            return None
-        return ResultTable.from_json(path.read_text())
+        if path.is_file():
+            try:
+                return decode(path.read_bytes())
+            except (CodecError, OSError) as exc:
+                log.warning(
+                    "store entry %s is unreadable (%s); treating as a miss",
+                    path, exc,
+                )
+                return None
+        legacy = self.legacy_path_for(key)
+        if legacy.is_file():
+            try:
+                table = ResultTable.from_json(legacy.read_text())
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError,
+                    OSError) as exc:
+                log.warning(
+                    "legacy store entry %s is unreadable (%s); "
+                    "treating as a miss",
+                    legacy, exc,
+                )
+                return None
+            _atomic_write_bytes(path, encode(table))
+            return table
+        return None
 
     def put(self, key: ResultKey, table: ResultTable) -> pathlib.Path:
         """Store ``table`` under ``key`` (atomic; returns the path).
@@ -111,24 +173,30 @@ class ResultStore:
                 f"{key.n_trials} trials"
             )
         path = self.path_for(key)
-        _atomic_write(path, table.to_json() + "\n")
+        _atomic_write_bytes(path, encode(table))
         return path
 
     # -- prefix queries (top-up / truncation) --------------------------------
 
     def stored_budgets(self, key: ResultKey) -> list[int]:
-        """All budgets stored under ``key``'s base, ascending."""
+        """All budgets stored under ``key``'s base, ascending.
+
+        Binary and legacy payloads both count; a budget present in both
+        formats is listed once.
+        """
         base = self._base_dir(key)
         if not base.is_dir():
             return []
-        budgets = []
+        budgets = set()
         for entry in base.iterdir():
             name = entry.name
-            if name.startswith("trials-") and name.endswith(".json"):
-                try:
-                    budgets.append(int(name[len("trials-"):-len(".json")]))
-                except ValueError:
-                    continue
+            for suffix in (RESULT_SUFFIX, LEGACY_SUFFIX):
+                if name.startswith("trials-") and name.endswith(suffix):
+                    try:
+                        budgets.add(int(name[len("trials-"):-len(suffix)]))
+                    except ValueError:
+                        pass
+                    break
         return sorted(budgets)
 
     def best_prefix(self, key: ResultKey) -> ResultTable | None:
@@ -137,15 +205,19 @@ class ResultStore:
         Preference order: the exact budget; else the *smallest* stored
         budget above it (cheapest truncation); else the *largest*
         stored budget below it (best top-up start).  ``None`` when the
-        base is empty.
+        base is empty.  An unreadable payload drops out of the running
+        (with a ``get`` warning) and the next-best budget is tried.
         """
         budgets = self.stored_budgets(key)
-        if not budgets:
-            return None
-        if key.n_trials in budgets:
-            best = key.n_trials
-        else:
-            above = [n for n in budgets if n > key.n_trials]
-            below = [n for n in budgets if n < key.n_trials]
-            best = min(above) if above else max(below)
-        return self.get(key.at_budget(best))
+        while budgets:
+            if key.n_trials in budgets:
+                best = key.n_trials
+            else:
+                above = [n for n in budgets if n > key.n_trials]
+                below = [n for n in budgets if n < key.n_trials]
+                best = min(above) if above else max(below)
+            table = self.get(key.at_budget(best))
+            if table is not None:
+                return table
+            budgets.remove(best)
+        return None

@@ -1,0 +1,193 @@
+"""Columnar ResultTable: integrity fixes, typed columns, strict JSON.
+
+Two regression tests here fail on the pre-columnar container:
+
+* ``TestColumnLock`` — ``append({})`` used to slip past the column
+  lock (columns stayed ``[]``), so a later keyed record re-locked the
+  columns around an already-stored empty record and ``rows()`` blew up
+  with ``KeyError``;
+* ``TestNonFinite`` — ``to_json`` used to emit bare ``NaN``/``Infinity``
+  tokens that no strict JSON parser (or ``canonical_json`` round trip)
+  accepts.
+
+The rest pins the columnar re-platform: dtype selection, object-dtype
+fallback, and byte-identical finite JSON export.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.results import (
+    ResultTable,
+    decode_nonfinite,
+    encode_nonfinite,
+)
+
+
+def _strict_loads(text: str):
+    """json.loads that rejects bare NaN/Infinity tokens."""
+
+    def refuse(token):
+        raise ValueError(f"non-strict JSON token {token!r}")
+
+    return json.loads(text, parse_constant=refuse)
+
+
+class TestColumnLock:
+    def test_empty_first_record_locks_zero_columns(self):
+        table = ResultTable()
+        table.append({})
+        assert table.columns == []
+        assert len(table) == 1
+        with pytest.raises(ValueError, match="record keys do not match"):
+            table.append({"a": 1})
+        # the table stayed rectangular: every accessor works
+        assert table.records == [{}]
+        assert table.rows() == [()]
+
+    def test_keyed_first_record_rejects_empty(self):
+        table = ResultTable()
+        table.append({"a": 1})
+        with pytest.raises(ValueError, match="record keys do not match"):
+            table.append({})
+        assert table.records == [{"a": 1}]
+
+    def test_all_empty_records_round_trip(self):
+        table = ResultTable()
+        table.extend([{}, {}, {}])
+        assert len(table) == 3
+        clone = ResultTable.from_json(table.to_json())
+        assert clone == table
+
+    def test_mismatched_keys_still_rejected(self):
+        table = ResultTable()
+        table.append({"a": 1, "b": 2})
+        with pytest.raises(ValueError, match=r"extra \['c'\]"):
+            table.append({"a": 1, "c": 3})
+
+
+class TestColumnarStorage:
+    def test_dtype_per_column(self):
+        table = ResultTable()
+        table.append({"i": 3, "f": 0.5, "b": True, "s": "x"})
+        table.append({"i": -1, "f": 1.5, "b": False, "s": "y"})
+        assert table.array("i").dtype == np.int64
+        assert table.array("f").dtype == np.float64
+        assert table.array("b").dtype == np.bool_
+        assert table.array("s").dtype == object
+
+    def test_records_materialise_python_scalars(self):
+        table = ResultTable(records=[{"i": 1, "f": 2.5, "b": True}])
+        record = table.records[0]
+        assert type(record["i"]) is int
+        assert type(record["f"]) is float
+        assert type(record["b"]) is bool
+
+    def test_mixed_types_demote_to_object_losslessly(self):
+        table = ResultTable()
+        table.extend([{"v": 1}, {"v": 2.5}, {"v": "three"}, {"v": None}])
+        assert table.array("v").dtype == object
+        assert table.column("v") == [1, 2.5, "three", None]
+
+    def test_bool_does_not_join_int_column(self):
+        table = ResultTable(records=[{"v": 1}, {"v": True}])
+        assert table.array("v").dtype == object
+        assert table.column("v") == [1, True]
+
+    def test_growth_beyond_initial_capacity(self):
+        table = ResultTable()
+        table.extend({"trial": i, "x": i * 0.5} for i in range(100))
+        assert len(table) == 100
+        assert table.column("trial") == list(range(100))
+        assert table.sum("x") == sum(i * 0.5 for i in range(100))
+
+    def test_huge_ints_fall_back_to_object(self):
+        table = ResultTable(records=[{"v": 2**70}, {"v": 1}])
+        assert table.array("v").dtype == object
+        assert table.column("v") == [2**70, 1]
+
+    def test_sum_and_mean_match_python_semantics(self):
+        records = [{"e": i % 3, "x": i * 0.1} for i in range(17)]
+        table = ResultTable(records=records)
+        assert table.sum("e") == float(sum(r["e"] for r in records))
+        # float columns sum sequentially — bit-identical to the old
+        # list-of-dicts container
+        assert table.sum("x") == float(sum(r["x"] for r in records))
+        assert table.mean("x") == float(
+            sum(r["x"] for r in records) / len(records)
+        )
+
+    def test_columns_property_is_a_copy(self):
+        table = ResultTable(records=[{"a": 1}])
+        table.columns.append("b")
+        assert table.columns == ["a"]
+
+
+class TestJsonByteCompatibility:
+    def test_finite_table_export_matches_legacy_bytes(self):
+        table = ResultTable(metadata={"seed": 7, "scenario": {"d": 2.0}})
+        for i in range(4):
+            table.append({"trial": i, "errors": i % 2, "ber": i * 0.125,
+                          "label": f"s{i}", "ok": i % 2 == 0})
+        legacy = json.dumps(
+            {
+                "columns": table.columns,
+                "records": table.records,
+                "metadata": table.metadata,
+            },
+            indent=2,
+        )
+        assert table.to_json() == legacy
+
+    def test_round_trip_preserves_bytes(self):
+        table = ResultTable(metadata={"parameter": "d"})
+        table.extend([{"d": 0.5, "y": 1}, {"d": 1.0, "y": 2}])
+        clone = ResultTable.from_json(table.to_json())
+        assert clone.to_json() == table.to_json()
+        assert clone == table
+
+
+class TestNonFinite:
+    def test_to_json_is_strict(self):
+        table = ResultTable(records=[{"latency": math.nan}])
+        _strict_loads(table.to_json())  # must not raise
+
+    def test_nonfinite_round_trip(self):
+        table = ResultTable(metadata={"worst": math.inf})
+        table.append({"nan": math.nan, "pinf": math.inf,
+                      "ninf": -math.inf, "fin": 2.5})
+        clone = ResultTable.from_json(table.to_json())
+        record = clone.records[0]
+        assert math.isnan(record["nan"])
+        assert record["pinf"] == math.inf
+        assert record["ninf"] == -math.inf
+        assert record["fin"] == 2.5
+        assert clone.metadata["worst"] == math.inf
+
+    def test_legacy_bare_tokens_still_parse(self):
+        text = json.dumps(
+            {"columns": ["v"], "records": [{"v": float("nan")}],
+             "metadata": {}}
+        )  # the pre-fix on-disk shape
+        clone = ResultTable.from_json(text)
+        assert math.isnan(clone.records[0]["v"])
+
+    def test_sentinel_helpers_invert(self):
+        doc = {"a": [math.nan, 1.0, {"b": -math.inf}], "c": "text"}
+        encoded = encode_nonfinite(doc)
+        _strict_loads(json.dumps(encoded, allow_nan=False))
+        decoded = decode_nonfinite(encoded)
+        assert math.isnan(decoded["a"][0])
+        assert decoded["a"][1] == 1.0
+        assert decoded["a"][2]["b"] == -math.inf
+        assert decoded["c"] == "text"
+
+    def test_literal_sentinel_dict_survives(self):
+        # A record that legitimately stores a {"$nonfinite": ...} dict
+        # with a non-tag value is not misdecoded.
+        table = ResultTable(records=[{"v": {"$nonfinite": "other"}}])
+        clone = ResultTable.from_json(table.to_json())
+        assert clone.records[0]["v"] == {"$nonfinite": "other"}

@@ -211,8 +211,8 @@ class TestCachedRun:
         assert topped.table.to_json() == cold.table.to_json()
         # and the stored bytes agree too
         assert (
-            warm.path_for(topped.key).read_text()
-            == ResultStore(tmp_path / "cold").path_for(cold.key).read_text()
+            warm.path_for(topped.key).read_bytes()
+            == ResultStore(tmp_path / "cold").path_for(cold.key).read_bytes()
         )
 
     def test_truncation_matches_cold_run_bitwise(self, tmp_path):
@@ -328,3 +328,141 @@ class TestRunnerStoreHooks:
         )
         with pytest.raises(ValueError, match="stop_when"):
             runner.run(FAST_SPEC, first_trial=5)
+
+
+class TestStoreCodec:
+    """Binary payload format: round trips, migration, damage tolerance."""
+
+    def _table(self, key, n):
+        table = ResultTable(metadata={"n_trials": n})
+        table.extend({"trial": i, "v": float(i)} for i in range(n))
+        return table
+
+    def test_payloads_are_binary_rpt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 3, 0)
+        path = store.put(key, self._table(key, 3))
+        assert path.suffix == ".rpt"
+        blob = path.read_bytes()
+        from repro.store.codec import MAGIC
+
+        assert blob[:4] == MAGIC
+
+    def test_nan_bearing_record_round_trips(self, tmp_path):
+        import math
+
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 2, 0)
+        table = ResultTable(metadata={"worst_latency": math.inf})
+        table.extend([
+            {"trial": 0, "latency": 0.25, "tag": "ok"},
+            {"trial": 1, "latency": math.nan, "tag": "timeout"},
+        ])
+        store.put(key, table)
+        loaded = store.get(key)
+        assert loaded.records[0] == table.records[0]
+        assert math.isnan(loaded.records[1]["latency"])
+        assert loaded.records[1]["tag"] == "timeout"
+        assert loaded.metadata["worst_latency"] == math.inf
+
+    def test_corrupt_payload_is_a_logged_miss(self, tmp_path, caplog):
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 3, 0)
+        path = store.put(key, self._table(key, 3))
+        path.write_bytes(b"RPT1 this is not a valid payload")
+        with caplog.at_level("WARNING", logger="repro.store"):
+            assert store.get(key) is None
+        assert "treating as a miss" in caplog.text
+        assert store.best_prefix(key) is None
+
+    def test_truncated_payload_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 3, 0)
+        path = store.put(key, self._table(key, 3))
+        path.write_bytes(path.read_bytes()[:-7])
+        assert store.get(key) is None
+
+    def test_empty_payload_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 3, 0)
+        path = store.put(key, self._table(key, 3))
+        path.write_bytes(b"")
+        assert store.get(key) is None
+
+    def test_wrong_codec_version_is_a_miss(self, tmp_path, caplog):
+        import struct
+
+        from repro.store.codec import MAGIC
+
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 3, 0)
+        path = store.put(key, self._table(key, 3))
+        blob = path.read_bytes()
+        future = struct.pack("<4sH", MAGIC, 999) + blob[6:]
+        path.write_bytes(future)
+        with caplog.at_level("WARNING", logger="repro.store"):
+            assert store.get(key) is None
+        assert "codec version 999" in caplog.text
+
+    def test_corruption_never_reaches_cached_run(self, tmp_path):
+        # A damaged store entry costs a recompute, not a campaign crash.
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner(trial=_synthetic_trial, max_trials=4)
+        first = cached_run(store, runner, FAST_SPEC, seed=2)
+        store.path_for(first.key).write_bytes(b"\x00garbage")
+        again = cached_run(store, runner, FAST_SPEC, seed=2)
+        assert again.outcome == "miss"
+        assert again.table.to_json() == first.table.to_json()
+        # the recompute repaired the entry
+        assert cached_run(store, runner, FAST_SPEC, seed=2).outcome == "hit"
+
+    def test_best_prefix_skips_damaged_budget(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 10, 0)
+        for n in (4, 12):
+            store.put(key.at_budget(n), self._table(key, n))
+        store.path_for(key.at_budget(12)).write_bytes(b"broken")
+        best = store.best_prefix(key)
+        assert best is not None and len(best) == 4
+
+    def test_legacy_json_entry_is_read_and_migrated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 3, 0)
+        table = self._table(key, 3)
+        legacy = store.legacy_path_for(key)
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_text(table.to_json() + "\n")
+        assert store.has(key)
+        assert store.stored_budgets(key) == [3]
+        loaded = store.get(key)
+        assert loaded == table
+        # migrated to the binary format on first read
+        assert store.path_for(key).is_file()
+        assert store.get(key) == table
+
+    def test_corrupt_legacy_json_is_a_miss(self, tmp_path, caplog):
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 3, 0)
+        legacy = store.legacy_path_for(key)
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_text("{not json")
+        with caplog.at_level("WARNING", logger="repro.store"):
+            assert store.get(key) is None
+        assert "treating as a miss" in caplog.text
+
+    def test_budget_in_both_formats_counted_once(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key(FAST_SPEC, "forward-ber", 3, 0)
+        table = self._table(key, 3)
+        store.put(key, table)
+        legacy = store.legacy_path_for(key)
+        legacy.write_text(table.to_json() + "\n")
+        assert store.stored_budgets(key) == [3]
+
+    def test_encode_is_deterministic(self):
+        from repro.store.codec import decode, encode
+
+        key = result_key(FAST_SPEC, "forward-ber", 5, 0)
+        table = self._table(key, 5)
+        blob = encode(table)
+        assert encode(decode(blob)) == blob
