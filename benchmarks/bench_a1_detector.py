@@ -15,7 +15,7 @@ import numpy as np
 from common import make_link, run_and_emit, save_result
 
 from repro.analysis.reporting import format_table
-from repro.channel import ChannelModel, Scene
+from repro.channel import Scene
 from repro.fullduplex.collision import (
     EnergyAnomalyDetector,
     MarginCollapseDetector,

@@ -42,7 +42,6 @@ def _feedback_margin(link, channel, scene, cfg, rng_seed):
     chips_a = np.zeros(total, dtype=np.uint8)
     chips_a[pad : pad + wf.num_samples] = wf.chip_waveform
     mod = ReflectionModulator(states=tx.states, samples_per_chip=1)
-    gamma_a = mod.reflection_waveform(chips_a)
     fb_bits = fb[: wf.num_samples // cfg.samples_per_feedback_bit]
     chips_b = np.zeros(total, dtype=np.uint8)
     fb_wave = feedback_waveform(fb_bits, cfg)

@@ -218,12 +218,12 @@ def main() -> int:
 
     failed = False
     if codec["speedup"] < REQUIRED_SPEEDUP:
-        print(f"PERF REGRESSION: binary codec only "
+        print("PERF REGRESSION: binary codec only "
               f"{codec['speedup']:.2f}x faster (need >= "
               f"{REQUIRED_SPEEDUP}x)")
         failed = True
     if alloc["trials_ratio"] > REQUIRED_TRIALS_RATIO:
-        print(f"ALLOCATION REGRESSION: adaptive used "
+        print("ALLOCATION REGRESSION: adaptive used "
               f"{alloc['trials_ratio']:.3f} of the fixed trials "
               f"(need <= {REQUIRED_TRIALS_RATIO})")
         failed = True

@@ -74,9 +74,9 @@ def sample_level_demo() -> None:
         detection_bit=verdict.detection_bit,
     )
     saved = 1.0 - verdict2.bits_transmitted / 1024
-    print(f"on a 1024-bit packet alice would stop at bit "
+    print("on a 1024-bit packet alice would stop at bit "
           f"{verdict2.bits_transmitted} — {saved:.0%} of the transmit "
-          f"energy saved\n")
+          "energy saved\n")
 
 
 def protocol_level_demo() -> None:
@@ -98,10 +98,10 @@ def protocol_level_demo() -> None:
         )
     hd = results["hd-arq"]
     fd = results["fd-abort"]
-    print(f"\nfd-abort vs hd-arq: "
+    print("\nfd-abort vs hd-arq: "
           f"{fd.goodput_bps / hd.goodput_bps:.2f}x goodput, "
           f"{hd.total_tx_energy_joule / fd.total_tx_energy_joule:.2f}x "
-          f"less transmit energy")
+          "less transmit energy")
 
 
 if __name__ == "__main__":

@@ -38,7 +38,7 @@ def main() -> None:
         print("second run (pure store hits):")
         show(runner.run(campaign, n_trials=TRIALS))
         print(f"topped-up run ({2 * TRIALS} trials/unit — only the "
-              f"missing half computes):")
+              "missing half computes):")
         show(runner.run(campaign, n_trials=2 * TRIALS))
         print()
         for kind, table in runner.report(

@@ -32,7 +32,7 @@ def main() -> None:
 
     # 2. One channel realisation of the scenario's scene.
     gains = stack.realize(rng)
-    print(f"ambient at bob : "
+    print("ambient at bob : "
           f"{10 * np.log10(gains.direct_power('bob')) + 30:.1f} dBm")
 
     # 3. One exchange: a 64-byte frame from Alice (557 bits of airtime —

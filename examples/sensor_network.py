@@ -82,9 +82,9 @@ def main() -> None:
 
     fd = results["fd-abort"]
     hd = results["hd-arq"]
-    print(f"\nper delivered byte, fd-abort spends "
+    print("\nper delivered byte, fd-abort spends "
           f"{hd.energy_per_delivered_bit / fd.energy_per_delivered_bit:.2f}x "
-          f"less than hd-arq.")
+          "less than hd-arq.")
     print("the margin between harvest income and protocol spend is what "
           "lets the cluster run batteryless; early abort widens it.")
 

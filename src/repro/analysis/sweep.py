@@ -115,7 +115,7 @@ class Sweep1D:
             # and misaligned rows).
             raise ValueError(
                 f"metric name {self.parameter!r} collides with the "
-                f"swept parameter"
+                "swept parameter"
             )
         if self.table.columns:
             known = set(self.table.columns) - {self.parameter}

@@ -191,7 +191,7 @@ def adaptive_run(
     if unsupported:
         raise ValueError(
             f"no Wilson count extractor for trial kind(s) {unsupported}; "
-            f"register one with repro.campaigns.register_wilson_counts"
+            "register one with repro.campaigns.register_wilson_counts"
         )
     target = 2.0 * precision if precision is not None else 0.0
     budgets = [floor] * len(units)
@@ -298,5 +298,5 @@ def _write_checkpoint(runner, result: AdaptiveRunResult) -> None:
     }
     _atomic_write(
         adaptive_checkpoint_path(runner, result.campaign),
-        json.dumps(state, indent=2) + "\n",
+        json.dumps(state, indent=2, sort_keys=True, allow_nan=False) + "\n",
     )

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from repro.campaigns.spec import CampaignSpec, CampaignUnit
 from repro.experiments import TRIAL_AGGREGATES, TRIAL_KINDS, ExperimentRunner
 from repro.experiments.results import ResultTable
-from repro.store.cache import CachedRun, cached_run
+from repro.store.cache import cached_run
 from repro.store.keys import CODE_VERSION
 from repro.store.store import ResultStore, _atomic_write
 
@@ -180,7 +180,8 @@ class CampaignRunner:
             state["completed"] = len(result.units)
             _atomic_write(
                 self.checkpoint_path(campaign),
-                json.dumps(state, indent=2) + "\n",
+                json.dumps(state, indent=2, sort_keys=True, allow_nan=False)
+                + "\n",
             )
             if progress is not None:
                 progress(unit, outcome)

@@ -249,7 +249,7 @@ def _parse_sweep_values(parameter: str, text: str) -> list:
     if parameter not in by_name:
         raise _cli_error(
             f"unknown sweep parameter {parameter!r}; "
-            f"choose a ScenarioSpec field"
+            "choose a ScenarioSpec field"
         )
     kind = by_name[parameter].type
     items = [v for v in (s.strip() for s in text.split(",")) if v]
@@ -413,11 +413,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise _cli_error(exc) from None
 
-        def ticker(unit, outcome, _state={"done": 0}):
-            _state["done"] += 1
+        done = 0
+
+        def ticker(unit, outcome):
+            nonlocal done
+            done += 1
             extra = (f" (+{outcome.trials_computed} trials)"
                      if outcome.trials_computed else "")
-            print(f"  [{_state['done']}/{total}] {unit.label()}: "
+            print(f"  [{done}/{total}] {unit.label()}: "
                   f"{outcome.outcome}{extra}")
 
         try:
@@ -471,6 +474,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
         print(f"wrote {args.json}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy: the linter pulls in ast/tokenize machinery no simulation
+    # command needs (same rationale as the lazy batch exports).
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -642,6 +653,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the report (all kinds) as JSON "
                              "to this path")
     p_crep.set_defaults(func=cmd_campaign, action="report")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism & serialization static analysis",
+        description="Run the repro-specific AST linter (RNG discipline, "
+        "determinism hazards, canonical-serialization rules, API "
+        "hygiene) over the given paths.  Exit status 0 means no active "
+        "findings; suppressed findings (`# repro: noqa[RULE]`) are "
+        "reported but do not fail the run.",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

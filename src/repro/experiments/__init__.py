@@ -134,6 +134,7 @@ __all__ = [
     "precision_budget",
     "register_batched_trial",
     "register_scenario",
+    "run_mac_arms",
     "scenario",
     "scenario_names",
 ]

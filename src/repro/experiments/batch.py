@@ -58,7 +58,7 @@ from repro.fullduplex.batch import BatchFullDuplexEngine
 from repro.fullduplex.link import DATA_PILOT_BITS
 from repro.mac.batch import SlottedMacEngine
 from repro.phy import coding as lc
-from repro.utils.rng import random_bits, spawn_rngs
+from repro.utils.rng import ensure_rng, random_bits, spawn_rngs
 
 #: Upper bound on cached engines per process (each cache separately).
 #: A campaign grid can visit hundreds of distinct specs; every engine
@@ -117,7 +117,7 @@ def _lane_streams(children, count: int = 3) -> tuple[list, ...]:
     """
     streams: tuple[list, ...] = tuple([] for _ in range(count))
     for child in children:
-        rng = np.random.default_rng(child)
+        rng = ensure_rng(child)
         for lane, gen in zip(streams, spawn_rngs(rng, count)):
             lane.append(gen)
     return streams
@@ -373,9 +373,9 @@ def batched_trial_for(trial: Callable) -> Callable:
     if batch is None:
         known = sorted(fn.__name__ for fn in _BATCH_TRIALS)
         raise ValueError(
-            f"no batched implementation registered for "
+            "no batched implementation registered for "
             f"{getattr(trial, '__name__', trial)!r}; register one with "
-            f"register_batched_trial() or use backend='serial'/'parallel' "
+            "register_batched_trial() or use backend='serial'/'parallel' "
             f"(batched trials: {known})"
         )
     return batch

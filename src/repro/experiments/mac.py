@@ -151,7 +151,7 @@ def run_mac_arms(
 
     if runner is not None and runner_kwargs:
         raise TypeError(
-            f"pass either runner or runner kwargs, not both "
+            "pass either runner or runner kwargs, not both "
             f"(got runner and {sorted(runner_kwargs)})"
         )
     if runner is None:

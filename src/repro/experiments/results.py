@@ -244,7 +244,7 @@ class ResultTable:
             extra = sorted(set(record) - set(self._columns))
             missing = sorted(set(self._columns) - set(record))
             raise ValueError(
-                f"record keys do not match columns "
+                "record keys do not match columns "
                 f"(extra {extra}, missing {missing})"
             )
         for name in self._columns:

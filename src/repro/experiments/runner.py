@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ScenarioSpec, ScenarioStack
-from repro.utils.rng import random_bits, spawn_rngs
+from repro.utils.rng import ensure_rng, random_bits, spawn_rngs
 from repro.utils.validation import check_positive
 
 #: Per-process cache of built stacks, keyed by the (hashable) spec.
@@ -60,7 +60,7 @@ def _stack_for(spec: ScenarioSpec) -> ScenarioStack:
 def _invoke(args) -> dict:
     """Pool-side shim: materialise the rng and stamp the trial index."""
     trial, spec, seed_seq, index = args
-    rng = np.random.default_rng(seed_seq)
+    rng = ensure_rng(seed_seq)
     record = trial(spec, rng)
     return {"trial": index, **record}
 
@@ -223,7 +223,7 @@ class ExperimentRunner:
             return cached_run(store, self, spec, seed=seed).table
         if not 0 <= first_trial <= self.max_trials:
             raise ValueError(
-                f"first_trial must be in [0, max_trials], got "
+                "first_trial must be in [0, max_trials], got "
                 f"{first_trial} with max_trials={self.max_trials}"
             )
         if first_trial and self.stop_when is not None:

@@ -43,12 +43,12 @@ class FullDuplexConfig:
         check_positive("asymmetry_ratio", self.asymmetry_ratio)
         if self.asymmetry_ratio % 2 or self.asymmetry_ratio < 2:
             raise ValueError(
-                f"asymmetry_ratio must be an even integer >= 2, "
+                "asymmetry_ratio must be an even integer >= 2, "
                 f"got {self.asymmetry_ratio}"
             )
         if self.feedback_decode not in ("gated", "raw"):
             raise ValueError(
-                f'feedback_decode must be "gated" or "raw", '
+                'feedback_decode must be "gated" or "raw", '
                 f"got {self.feedback_decode!r}"
             )
 

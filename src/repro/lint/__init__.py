@@ -1,0 +1,40 @@
+"""``repro.lint`` — AST-based determinism & serialization linter.
+
+A custom static-analysis pass encoding the repo's reproducibility
+invariants: RNG discipline (all randomness through
+:func:`repro.utils.rng.ensure_rng` / ``spawn_rngs``), determinism
+hazards (wall-clock reads, bare-``set`` iteration, mutable defaults),
+serialization discipline (strict-finite, canonically-ordered JSON in
+the store/campaign layers) and API hygiene (no star imports, honest
+``__all__``).  See DESIGN.md §10 for the invariant behind each rule
+and the incident that motivated it.
+
+Run it as ``repro lint [paths]`` or ``python -m repro.lint``; suppress
+a finding with ``# repro: noqa[RULE]  -- justification``.
+"""
+
+from repro.lint.cli import DEFAULT_PATHS, lint_report, run_lint
+from repro.lint.engine import (
+    PARSE_ERROR_ID,
+    BaseChecker,
+    Finding,
+    Linter,
+    LintReport,
+    Registry,
+    Rule,
+)
+from repro.lint.rules import REGISTRY
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "PARSE_ERROR_ID",
+    "REGISTRY",
+    "BaseChecker",
+    "Finding",
+    "Linter",
+    "LintReport",
+    "Registry",
+    "Rule",
+    "lint_report",
+    "run_lint",
+]

@@ -1,0 +1,116 @@
+"""Command-line front end for ``repro lint``.
+
+Exposed both as the ``lint`` subcommand of the main ``repro`` CLI and
+standalone as ``python -m repro.lint`` (handy in CI, where the lint
+gate runs before the simulation dependencies are worth installing).
+
+Exit codes: 0 — clean (suppressed findings allowed); 1 — at least one
+non-suppressed finding; 2 — usage error (unknown rule, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.engine import Linter, LintReport
+from repro.lint.rules import REGISTRY
+
+#: What ``repro lint`` checks when no paths are given.
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with repro.cli)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint "
+        f"(default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids or prefixes to enable "
+        "(e.g. RNG,SER001); default: all rules",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids or prefixes to disable",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="also write the full JSON report (including suppressed "
+        "findings) to FILE — the CI artifact",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def _split(arg: str | None) -> list[str] | None:
+    if arg is None:
+        return None
+    return [part for part in arg.split(",") if part.strip()]
+
+
+def _format_rule_table() -> str:
+    lines = ["ID       SEV      NAME"]
+    for rule in sorted(REGISTRY, key=lambda r: r.id):
+        lines.append(f"{rule.id:<8} {rule.severity:<8} {rule.name}")
+        lines.append(f"         {rule.fix_hint}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        print(_format_rule_table())
+        return 0
+    try:
+        linter = Linter(
+            REGISTRY, select=_split(args.select), ignore=_split(args.ignore)
+        )
+        report = linter.lint_paths(args.paths)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text(show_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & serialization linter "
+        "for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+def lint_report(paths, **kwargs) -> LintReport:
+    """Programmatic entry point: lint ``paths`` with the shipped rules."""
+    return Linter(REGISTRY, **kwargs).lint_paths(paths)

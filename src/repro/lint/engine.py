@@ -1,0 +1,489 @@
+"""``repro.lint`` engine: rule registry, AST visitor dispatch, suppression.
+
+The linter exists because every reproducibility bug this repo has
+shipped — RNG spawn collisions, bare-NaN JSON, unsorted result keys —
+was a mechanically detectable *pattern*, found only after it landed.
+The engine makes those patterns un-regressable:
+
+* a :class:`Rule` is pure configuration — id, severity, message
+  template, fix hint, path scope — bound to one :class:`BaseChecker`
+  subclass that inspects AST nodes;
+* the :class:`Linter` parses each file once, builds a shared
+  :class:`ModuleContext` (source lines, import-alias resolution,
+  suppression comments) and dispatches every AST node to every active
+  checker in a single walk;
+* findings on a line carrying ``# repro: noqa[RULE]`` (or a blanket
+  ``# repro: noqa``) are kept but marked suppressed — they appear in
+  the JSON report for audit, and do not affect the exit code.
+
+The engine deliberately imports nothing heavy (no numpy): it must be
+cheap enough to run as a CI gate before the simulation dependencies
+are even installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import BytesIO
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Suppression comment: ``# repro: noqa`` silences every rule on the
+#: line, ``# repro: noqa[RNG001]`` / ``noqa[RNG001,SER002]`` silences
+#: the listed rules only.  Anything after the directive is the
+#: justification (the self-lint test keeps src/ free of *unjustified*
+#: suppressions by convention; the comment text is free-form).
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Rule id of the engine-level "file does not parse" finding.  Not a
+#: registered rule (it cannot be deselected: an unparseable file can
+#: satisfy no invariant).
+PARSE_ERROR_ID = "LINT001"
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: pure declarative configuration plus a checker.
+
+    ``message`` is a ``str.format`` template; checkers fill it with the
+    keyword details they pass to :meth:`BaseChecker.report`.
+    ``applies_to`` receives a POSIX-style path relative to the lint
+    root and scopes the rule (e.g. serialization rules only bind
+    inside ``repro/store/``).
+    """
+
+    id: str
+    name: str
+    severity: str
+    message: str
+    fix_hint: str
+    checker: type
+    applies_to: Callable[[str], bool]
+
+    def describe(self) -> dict:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "severity": self.severity,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+class Registry:
+    """Rule registry: id → :class:`Rule`, populated via decorator."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def rule(
+        self,
+        *,
+        id: str,
+        name: str,
+        severity: str,
+        message: str,
+        fix_hint: str,
+        applies_to: Callable[[str], bool],
+    ) -> Callable[[type], type]:
+        """Class decorator registering a :class:`BaseChecker` subclass."""
+
+        def register(checker: type) -> type:
+            if id in self._rules:
+                raise ValueError(f"duplicate rule id {id!r}")
+            if severity not in SEVERITIES:
+                raise ValueError(
+                    f"rule {id}: severity must be one of {SEVERITIES}"
+                )
+            rule = Rule(
+                id=id,
+                name=name,
+                severity=severity,
+                message=message,
+                fix_hint=fix_hint,
+                checker=checker,
+                applies_to=applies_to,
+            )
+            self._rules[id] = rule
+            checker.rule = rule
+            return checker
+
+        return register
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def get(self, rule_id: str) -> Rule:
+        return self._rules[rule_id]
+
+    def ids(self) -> list[str]:
+        return sorted(self._rules)
+
+    def select(
+        self,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> list[Rule]:
+        """Resolve ``--select`` / ``--ignore`` prefixes to a rule list.
+
+        Matching is by id prefix (``RNG`` selects every RNG rule,
+        ``RNG005`` exactly one), mirroring the familiar flake8/ruff
+        semantics.  Unknown prefixes raise so a typo cannot silently
+        disable a gate.
+        """
+        chosen = list(self._rules.values())
+        if select is not None:
+            prefixes = _clean_prefixes(select, self)
+            chosen = [
+                r for r in chosen
+                if any(r.id.startswith(p) for p in prefixes)
+            ]
+        if ignore is not None:
+            prefixes = _clean_prefixes(ignore, self)
+            chosen = [
+                r for r in chosen
+                if not any(r.id.startswith(p) for p in prefixes)
+            ]
+        return chosen
+
+
+def _clean_prefixes(prefixes: Iterable[str], registry: Registry) -> list[str]:
+    out = []
+    for prefix in prefixes:
+        prefix = prefix.strip()
+        if not prefix:
+            continue
+        if not any(rid.startswith(prefix) for rid in registry.ids()):
+            known = ", ".join(registry.ids())
+            raise ValueError(
+                f"unknown rule or prefix {prefix!r} (known: {known})"
+            )
+        out.append(prefix)
+    return out
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, suppressed or not."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str
+    suppressed: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "suppressed": self.suppressed,
+        }
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity} {self.message}"
+        )
+
+
+class ModuleContext:
+    """Per-file state shared by every checker: source, imports, scope.
+
+    ``imports`` maps local names to the dotted origin they alias
+    (``np`` → ``numpy``, ``default_rng`` → ``numpy.random.default_rng``),
+    so rules match what a call *resolves to*, not how it is spelled.
+    """
+
+    def __init__(self, rel_path: str, source: str, tree: ast.Module) -> None:
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = tree
+        self.imports: dict[str, str] = {}
+        self.has_module_getattr = False
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self.imports[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative: outside rule vocabulary
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{module}.{alias.name}"
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == "__getattr__":
+                self.has_module_getattr = True
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of a ``Name``/``Attribute`` chain, or ``None``.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` whatever
+        numpy was imported as; a bare from-imported ``default_rng``
+        resolves to ``numpy.random.default_rng``.  Locals and
+        attribute chains rooted in non-imports resolve to ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.imports.get(node.id)
+        if origin is None:
+            return None
+        return ".".join([origin, *reversed(parts)])
+
+
+class BaseChecker:
+    """Base class for rule checkers.
+
+    Subclasses implement ``visit_<NodeType>`` methods (dispatched by
+    the engine in one shared walk) and/or ``finish`` (called once per
+    file, for module-level rules), reporting via :meth:`report`.
+    """
+
+    rule: Rule  # bound by Registry.rule
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def report(self, node: ast.AST, **detail) -> None:
+        self.findings.append(
+            Finding(
+                rule=self.rule.id,
+                severity=self.rule.severity,
+                path=self.ctx.rel_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=self.rule.message.format(**detail),
+                fix_hint=self.rule.fix_hint,
+            )
+        )
+
+    def finish(self) -> None:
+        """Module-level hook; default no-op."""
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """Line → suppressed rule ids (``None`` = every rule) from comments."""
+    out: dict[int, set[str] | None] = {}
+    try:
+        tokens = tokenize.tokenize(BytesIO(source.encode("utf-8")).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESSION_RE.search(tok.string)
+            if not match:
+                continue
+            listed = match.group("rules")
+            if listed is None:
+                out[tok.start[0]] = None
+            else:
+                rules = {r.strip() for r in listed.split(",") if r.strip()}
+                existing = out.get(tok.start[0], set())
+                if existing is None:
+                    continue
+                out[tok.start[0]] = existing | rules
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, JSON- and text-renderable."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules: list[Rule] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def to_dict(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for finding in self.active:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "rules": [rule.describe() for rule in self.rules],
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "active": len(self.active),
+                "suppressed": len(self.suppressed),
+                "by_rule": by_rule,
+            },
+        }
+
+    def to_json(self) -> str:
+        # The linter holds itself to its own serialization rules.
+        return json.dumps(
+            self.to_dict(), indent=2, sort_keys=True, allow_nan=False
+        )
+
+    def format_text(self, *, show_suppressed: bool = False) -> str:
+        lines = []
+        shown = self.findings if show_suppressed else self.active
+        for finding in sorted(
+            shown, key=lambda f: (f.path, f.line, f.col, f.rule)
+        ):
+            tag = " (suppressed)" if finding.suppressed else ""
+            lines.append(finding.format() + tag)
+            if finding.fix_hint:
+                lines.append(f"    hint: {finding.fix_hint}")
+        lines.append(
+            f"{self.files_scanned} file(s) scanned: "
+            f"{len(self.active)} finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+
+class Linter:
+    """Run a rule set over sources, files or directory trees."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> None:
+        self.registry = registry
+        self.rules = registry.select(select, ignore)
+
+    # -- single sources ----------------------------------------------------
+
+    def lint_source(self, source: str, rel_path: str) -> list[Finding]:
+        """Lint one source text as if it lived at ``rel_path``.
+
+        The path chooses which rules bind (serialization rules only
+        apply under ``repro/store/`` etc.), which is what lets the
+        test suite feed minimal snippets through real scoping.
+        """
+        rel = rel_path.replace("\\", "/")
+        active = [r for r in self.rules if r.applies_to(rel)]
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule=PARSE_ERROR_ID,
+                    severity="error",
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"file does not parse: {exc.msg}",
+                    fix_hint="fix the syntax error; nothing else can be "
+                    "checked until the file parses",
+                )
+            ]
+        if not active:
+            return []
+        ctx = ModuleContext(rel, source, tree)
+        checkers = [rule.checker(ctx) for rule in active]
+        dispatch: dict[type, list] = {}
+        for checker in checkers:
+            for attr in dir(checker):
+                if not attr.startswith("visit_"):
+                    continue
+                node_type = getattr(ast, attr[len("visit_"):], None)
+                if node_type is None:
+                    raise TypeError(
+                        f"{type(checker).__name__}.{attr}: unknown AST node"
+                    )
+                dispatch.setdefault(node_type, []).append(
+                    getattr(checker, attr)
+                )
+        for node in ast.walk(tree):
+            for handler in dispatch.get(type(node), ()):
+                handler(node)
+        findings: list[Finding] = []
+        suppressed_lines = _suppressions(source)
+        for checker in checkers:
+            checker.finish()
+            findings.extend(checker.findings)
+        out = []
+        for finding in findings:
+            rules_on_line = suppressed_lines.get(finding.line, set())
+            if rules_on_line is None or finding.rule in rules_on_line:
+                finding = Finding(
+                    **{**finding.to_dict(), "suppressed": True}
+                )
+            out.append(finding)
+        out.sort(key=lambda f: (f.line, f.col, f.rule))
+        return out
+
+    # -- trees -------------------------------------------------------------
+
+    def lint_paths(
+        self, paths: Iterable[str | Path], root: str | Path | None = None
+    ) -> LintReport:
+        """Lint files and directory trees; paths are reported relative
+        to ``root`` (default: the current working directory) when they
+        live under it, absolute otherwise."""
+        root = Path.cwd() if root is None else Path(root)
+        report = LintReport(rules=list(self.rules))
+        for path in paths:
+            for file in sorted(_python_files(Path(path))):
+                try:
+                    rel = file.resolve().relative_to(root.resolve())
+                    rel_path = rel.as_posix()
+                except ValueError:
+                    rel_path = file.as_posix()
+                source = file.read_text(encoding="utf-8")
+                report.findings.extend(self.lint_source(source, rel_path))
+                report.files_scanned += 1
+        return report
+
+
+def _python_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        yield path
+        return
+    if not path.is_dir():
+        raise FileNotFoundError(f"no such file or directory: {path}")
+    for file in path.rglob("*.py"):
+        if any(
+            part.startswith(".") or part == "__pycache__"
+            for part in file.parts
+        ):
+            continue
+        yield file

@@ -1,0 +1,484 @@
+"""The shipped rule set: this repo's reproducibility invariants, as code.
+
+Every rule here encodes an invariant the repo once broke (or nearly
+broke) and now depends on — see DESIGN.md §10 for the incident behind
+each one.  Rules are grouped by id prefix:
+
+* ``RNG``  — randomness discipline: all randomness flows through
+  explicit ``numpy.random.Generator`` objects built by
+  :func:`repro.utils.rng.ensure_rng` / ``spawn_rngs``;
+* ``DET``  — determinism hazards: wall-clock reads, unordered ``set``
+  iteration, mutable default arguments;
+* ``SER``  — serialization discipline in the store/campaign layers:
+  strict-finite JSON (``allow_nan=False``) and canonical key order;
+* ``API``  — public-surface hygiene: no star imports, honest
+  ``__all__`` declarations.
+
+Path scoping uses POSIX paths relative to the lint root.  Rules apply
+to the narrowest path set that holds the invariant, so tests and
+benchmarks stay free to, say, construct throwaway generators while the
+package itself cannot.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.engine import BaseChecker, Registry
+
+REGISTRY = Registry()
+rule = REGISTRY.rule
+
+
+# -- path scopes -----------------------------------------------------------
+
+_PACKAGE_RE = re.compile(r"(^|/)repro/")
+_SERIAL_RE = re.compile(
+    r"(^|/)repro/(store|campaigns)/|(^|/)repro/experiments/results\.py$"
+)
+
+
+def everywhere(path: str) -> bool:
+    """All linted python files (src, tests, benchmarks)."""
+    return True
+
+
+def in_package(path: str) -> bool:
+    """Files inside the ``repro`` package itself."""
+    return bool(_PACKAGE_RE.search(path))
+
+
+def in_serialization_scope(path: str) -> bool:
+    """The layers whose JSON reaches disk or content addresses."""
+    return bool(_SERIAL_RE.search(path))
+
+
+# -- RNG discipline --------------------------------------------------------
+
+_GLOBAL_DRAWS = frozenset(
+    "numpy.random." + name
+    for name in (
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "gamma", "geometric", "gumbel", "hypergeometric",
+        "laplace", "logistic", "lognormal", "multinomial",
+        "multivariate_normal", "normal", "pareto", "permutation",
+        "poisson", "power", "rand", "randint", "randn", "random",
+        "random_integers", "random_sample", "ranf", "rayleigh", "sample",
+        "shuffle", "standard_cauchy", "standard_exponential",
+        "standard_gamma", "standard_normal", "standard_t", "triangular",
+        "uniform", "vonmises", "wald", "weibull", "zipf",
+    )
+)
+
+
+@rule(
+    id="RNG001",
+    name="no-global-numpy-seed",
+    severity="error",
+    message="global numpy RNG state mutation via `{call}`",
+    fix_hint="seed an explicit generator instead: "
+    "`rng = repro.utils.rng.ensure_rng(seed)`",
+    applies_to=everywhere,
+)
+class NoGlobalNumpySeed(BaseChecker):
+    """``np.random.seed`` / ``set_state`` poison every caller in the
+    process: trials are only reproducible if no code can touch shared
+    RNG state."""
+
+    TARGETS = frozenset({"numpy.random.seed", "numpy.random.set_state"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.ctx.resolve(node.func)
+        if dotted in self.TARGETS:
+            self.report(node, call=dotted)
+
+
+@rule(
+    id="RNG002",
+    name="no-legacy-randomstate",
+    severity="error",
+    message="legacy `numpy.random.RandomState` constructed",
+    fix_hint="use the Generator API via `repro.utils.rng.ensure_rng`; "
+    "RandomState streams are frozen to legacy algorithms and cannot "
+    "spawn independent children",
+    applies_to=everywhere,
+)
+class NoLegacyRandomState(BaseChecker):
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.resolve(node.func) == "numpy.random.RandomState":
+            self.report(node)
+
+
+@rule(
+    id="RNG003",
+    name="no-global-numpy-draw",
+    severity="error",
+    message="draw from the global numpy RNG via `{call}`",
+    fix_hint="draw from an explicit generator passed down from the "
+    "trial seed (`rng.normal(...)`, not `np.random.normal(...)`)",
+    applies_to=everywhere,
+)
+class NoGlobalNumpyDraw(BaseChecker):
+    """Module-level ``np.random.<draw>`` calls share one hidden stream:
+    results then depend on call order across the whole process, which
+    is exactly what the per-trial ``SeedSequence.spawn`` contract
+    (DESIGN §7) exists to prevent."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.ctx.resolve(node.func)
+        if dotted in _GLOBAL_DRAWS:
+            self.report(node, call=dotted)
+
+
+@rule(
+    id="RNG004",
+    name="no-stdlib-random",
+    severity="error",
+    message="stdlib `random` imported in package code",
+    fix_hint="use numpy Generators via `repro.utils.rng.ensure_rng`; "
+    "stdlib random is a second, unseeded entropy source that the "
+    "runner's seeding contract cannot reach",
+    applies_to=in_package,
+)
+class NoStdlibRandom(BaseChecker):
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module == "random":
+            self.report(node)
+
+
+@rule(
+    id="RNG005",
+    name="generator-via-ensure-rng",
+    severity="error",
+    message="direct `numpy.random.default_rng` construction in package "
+    "code",
+    fix_hint="route through `repro.utils.rng.ensure_rng` (accepts None, "
+    "int, SeedSequence or Generator) or `spawn_rngs`; one blessed "
+    "constructor keeps the seeding contract auditable",
+    applies_to=in_package,
+)
+class GeneratorViaEnsureRng(BaseChecker):
+    """All Generator construction inside the package flows through
+    ``utils.rng``.  The implementation sites in ``utils/rng.py`` itself
+    carry ``# repro: noqa[RNG005]`` suppressions with justification —
+    they *are* the blessed constructor."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.resolve(node.func) == "numpy.random.default_rng":
+            self.report(node)
+
+
+# -- determinism hazards ---------------------------------------------------
+
+
+@rule(
+    id="DET001",
+    name="no-wall-clock",
+    severity="error",
+    message="wall-clock / OS-entropy read via `{call}` in package code",
+    fix_hint="trial and store code must be a pure function of (spec, "
+    "seed); timestamps belong in benchmark harnesses "
+    "(`time.perf_counter`) or CLI presentation, not in records or keys",
+    applies_to=in_package,
+)
+class NoWallClock(BaseChecker):
+    """``time.time()`` in a record, key or checkpoint makes two
+    identical runs produce different bytes — which breaks the
+    content-addressed store's equality contract.  ``perf_counter`` /
+    ``monotonic`` stay legal: measuring duration is fine, *recording
+    the clock* is not."""
+
+    TARGETS = frozenset({
+        "time.time",
+        "time.time_ns",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+    })
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.ctx.resolve(node.func)
+        if dotted in self.TARGETS:
+            self.report(node, call=dotted)
+
+
+@rule(
+    id="DET002",
+    name="no-bare-set-iteration",
+    severity="warning",
+    message="iteration over a bare `set` — order is arbitrary",
+    fix_hint="wrap in `sorted(...)` before iterating; set order varies "
+    "with insertion history and PYTHONHASHSEED, so any iteration that "
+    "reaches records, keys or output is non-deterministic",
+    applies_to=everywhere,
+)
+class NoBareSetIteration(BaseChecker):
+    """Heuristic: flags ``for x in {…}`` / ``for x in set(…)`` and set
+    iterables inside comprehensions.  It cannot see through variables
+    (a set bound to a name iterates invisibly), but the direct forms
+    are the ones that slip through review."""
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self.report(node.iter)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            if self._is_set_expr(gen.iter):
+                self.report(gen.iter)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+@rule(
+    id="DET003",
+    name="no-mutable-default",
+    severity="error",
+    message="mutable default argument `{repr}`",
+    fix_hint="default to None and construct inside the function; a "
+    "mutable default is one shared object across every call — state "
+    "that leaks between trials",
+    applies_to=everywhere,
+)
+class NoMutableDefault(BaseChecker):
+    _CTORS = frozenset({
+        "list", "dict", "set", "bytearray",
+        "defaultdict", "OrderedDict", "Counter", "deque",
+    })
+
+    def _check(self, node) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            bad = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set,
+                 ast.ListComp, ast.DictComp, ast.SetComp),
+            )
+            if (
+                not bad
+                and isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in self._CTORS
+            ):
+                bad = True
+            if bad:
+                self.report(default, repr=ast.unparse(default))
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check
+    visit_Lambda = _check
+
+
+# -- serialization discipline ----------------------------------------------
+
+
+def _json_dump_call(ctx, node: ast.Call) -> str | None:
+    dotted = ctx.resolve(node.func)
+    if dotted in ("json.dumps", "json.dump"):
+        return dotted
+    return None
+
+
+def _keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_const(node: ast.expr | None, value) -> bool:
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+def _routes_through_nonfinite_codec(ctx, node: ast.Call) -> bool:
+    """True when the serialized payload passes through the repo's
+    ``$nonfinite`` sentinel encoder (``encode_nonfinite``)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name == "encode_nonfinite":
+                return True
+    return False
+
+
+@rule(
+    id="SER001",
+    name="json-strict-finite",
+    severity="error",
+    message="`{call}` without `allow_nan=False` in a store/campaign "
+    "code path",
+    fix_hint="pass `allow_nan=False` (and encode non-finite floats as "
+    '`{"$nonfinite": ...}` sentinels via `encode_nonfinite`); bare '
+    "NaN tokens are not JSON and silently corrupt stored tables "
+    "(the PR 7 incident)",
+    applies_to=in_serialization_scope,
+)
+class JsonStrictFinite(BaseChecker):
+    def visit_Call(self, node: ast.Call) -> None:
+        call = _json_dump_call(self.ctx, node)
+        if call is None:
+            return
+        if not _is_const(_keyword(node, "allow_nan"), False):
+            self.report(node, call=call)
+
+
+@rule(
+    id="SER002",
+    name="json-canonical-order",
+    severity="error",
+    message="`{call}` with neither `sort_keys=True` nor the "
+    "`$nonfinite` codec in a store/campaign code path",
+    fix_hint="pass `sort_keys=True` (canonical key order — content "
+    "addresses hash these bytes) or route the payload through "
+    "`encode_nonfinite`/`canonical_json`, which pins an explicit, "
+    "deliberate layout",
+    applies_to=in_serialization_scope,
+)
+class JsonCanonicalOrder(BaseChecker):
+    """Two dicts with equal content must serialize to equal bytes
+    wherever JSON reaches disk or a hash.  ``sort_keys=True`` is the
+    default way to get that; the ResultTable/codec documents that
+    preserve column order instead route through ``encode_nonfinite``,
+    which marks the layout as deliberate and strict-finite."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        call = _json_dump_call(self.ctx, node)
+        if call is None:
+            return
+        if _is_const(_keyword(node, "sort_keys"), True):
+            return
+        if _routes_through_nonfinite_codec(self.ctx, node):
+            return
+        self.report(node, call=call)
+
+
+# -- API hygiene -----------------------------------------------------------
+
+
+@rule(
+    id="API001",
+    name="no-star-import",
+    severity="error",
+    message="star import `from {module} import *`",
+    fix_hint="import the names you use; star imports make the public "
+    "surface untrackable and defeat the `__all__` audit",
+    applies_to=everywhere,
+)
+class NoStarImport(BaseChecker):
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if any(alias.name == "*" for alias in node.names):
+            module = "." * node.level + (node.module or "")
+            self.report(node, module=module)
+
+
+@rule(
+    id="API002",
+    name="honest-all-exports",
+    severity="error",
+    message="{problem}",
+    fix_hint="keep `__all__` in sync with the public surface: every "
+    "public top-level name in a package `__init__` belongs in "
+    "`__all__`, and every `__all__` entry must exist (module-level "
+    "`__getattr__` lazy exports are recognised)",
+    applies_to=in_package,
+)
+class HonestAllExports(BaseChecker):
+    """``__all__`` is the package's public contract: the API docs, the
+    star-import surface and (for the mypy strict islands) the explicit
+    re-export list.  A name missing from it is unofficially public; a
+    stale entry breaks ``from repro.x import *`` at import time."""
+
+    def finish(self) -> None:
+        tree = self.ctx.tree
+        all_node: ast.Assign | None = None
+        exported: list[str] | None = None
+        top_level: dict[str, ast.AST] = {}
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if target.id == "__all__":
+                            all_node = node
+                            try:
+                                exported = [
+                                    str(e) for e in ast.literal_eval(node.value)
+                                ]
+                            except (ValueError, SyntaxError):
+                                exported = None  # dynamic: not auditable
+                        else:
+                            top_level[target.id] = node
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    top_level[node.target.id] = node
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                top_level[node.name] = node
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".", 1)[0]
+                    top_level[name] = node
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    top_level[alias.asname or alias.name] = node
+        is_init = self.ctx.rel_path.endswith("__init__.py")
+        public = {n for n in top_level if not n.startswith("_")}
+        if exported is None:
+            if all_node is None and is_init and public:
+                self.report(
+                    tree,
+                    problem="package `__init__` defines a public surface "
+                    "but no `__all__`",
+                )
+            return
+        if not self.ctx.has_module_getattr:
+            for name in exported:
+                if name not in top_level:
+                    self.report(
+                        all_node,
+                        problem=f"`__all__` lists `{name}`, which is not "
+                        "defined or imported at module level",
+                    )
+        if is_init:
+            for name in sorted(public - set(exported)):
+                self.report(
+                    top_level[name],
+                    problem=f"public name `{name}` is imported/defined in "
+                    "a package `__init__` but missing from `__all__`",
+                )

@@ -26,9 +26,9 @@ from repro.phy.coding import (
     nrz_encode,
 )
 from repro.phy.config import PhyConfig
-from repro.phy.crc import crc8, crc16, append_crc16, check_crc16
+from repro.phy.crc import append_crc16, check_crc16, crc16, crc8
 from repro.phy.framing import Frame, build_frame, parse_frame
-from repro.phy.modulation import chips_for_bits, chip_waveform
+from repro.phy.modulation import chip_waveform, chips_for_bits
 from repro.phy.preamble import default_preamble_bits, preamble_template
 from repro.phy.receiver import BackscatterReceiver, ReceiveResult
 from repro.phy.sync import acquire_frame_start

@@ -38,7 +38,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -51,7 +51,7 @@ from repro.experiments.spec import ScenarioSpec
 CODE_VERSION = __version__
 
 
-def canonical_json(obj) -> str:
+def canonical_json(obj: object) -> str:
     """The one JSON text a JSON-able value canonicalises to.
 
     Sorted keys, no whitespace, ASCII-only, and ``allow_nan=False`` so a
@@ -70,7 +70,9 @@ def canonical_json(obj) -> str:
     )
 
 
-def canonical_seed(seed):
+def canonical_seed(
+    seed: int | np.integer[Any] | np.random.SeedSequence,
+) -> int | list[int] | dict[str, object]:
     """JSON-safe canonical form of a root seed (int or SeedSequence).
 
     A ``SeedSequence`` is more than its entropy: a spawned child
@@ -83,11 +85,14 @@ def canonical_seed(seed):
     carries its full spawn state.
     """
     if isinstance(seed, np.random.SeedSequence):
-        entropy = seed.entropy
-        if isinstance(entropy, (int, np.integer)):
-            entropy = int(entropy)
+        raw_entropy = seed.entropy
+        if raw_entropy is None:
+            raise TypeError("SeedSequence has no entropy to canonicalise")
+        entropy: int | list[int]
+        if isinstance(raw_entropy, (int, np.integer)):
+            entropy = int(raw_entropy)
         else:
-            entropy = [int(e) for e in entropy]
+            entropy = [int(e) for e in raw_entropy]
         spawn_key = [int(k) for k in seed.spawn_key]
         spawned = int(seed.n_children_spawned)
         if not spawn_key and not spawned:
@@ -104,7 +109,7 @@ def canonical_seed(seed):
     )
 
 
-def trial_kind_of(trial: Callable) -> str:
+def trial_kind_of(trial: Callable[..., object]) -> str:
     """The stable name a trial function is keyed under.
 
     Registered standard trials use their metric name from
@@ -117,7 +122,9 @@ def trial_kind_of(trial: Callable) -> str:
     for name, fn in TRIAL_KINDS.items():
         if fn is trial:
             return name
-    return f"{trial.__module__}.{trial.__qualname__}"
+    module = getattr(trial, "__module__", "unknown")
+    qualname = getattr(trial, "__qualname__", repr(trial))
+    return f"{module}.{qualname}"
 
 
 @dataclass(frozen=True)
@@ -168,9 +175,9 @@ def _full_digest(base: str, n_trials: int) -> str:
 
 def result_key(
     spec: ScenarioSpec,
-    trial_kind,
+    trial_kind: str | Callable[..., object],
     n_trials: int,
-    seed,
+    seed: int | np.integer[Any] | np.random.SeedSequence,
     code_version: str | None = None,
 ) -> ResultKey:
     """The content address of ``n_trials`` trials of ``spec``.
@@ -178,7 +185,7 @@ def result_key(
     ``trial_kind`` may be a registered kind name or the trial callable
     itself (resolved via :func:`trial_kind_of`).
     """
-    if callable(trial_kind):
+    if not isinstance(trial_kind, str):
         trial_kind = trial_kind_of(trial_kind)
     if n_trials < 1:
         raise ValueError("n_trials must be positive")

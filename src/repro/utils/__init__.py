@@ -17,8 +17,8 @@ from repro.utils.units import (
 from repro.utils.validation import (
     check_in_range,
     check_positive,
-    check_probability,
     check_power_of_two,
+    check_probability,
 )
 
 __all__ = [

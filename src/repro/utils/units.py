@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
+import numpy.typing as npt
 
 #: Speed of light in vacuum [m/s]; used for wavelength / free-space loss.
 SPEED_OF_LIGHT = 299_792_458.0
@@ -28,7 +29,7 @@ BOLTZMANN = 1.380649e-23
 T0_KELVIN = 290.0
 
 
-def db_to_linear(value_db):
+def db_to_linear(value_db: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert a ratio in decibels to its linear value.
 
     Accepts scalars or numpy arrays.
@@ -36,36 +37,44 @@ def db_to_linear(value_db):
     >>> db_to_linear(3.0103)
     2.0000...
     """
-    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+    out: npt.NDArray[np.float64] = np.power(
+        10.0, np.asarray(value_db, dtype=np.float64) / 10.0
+    )
+    return out
 
 
-def linear_to_db(value):
+def linear_to_db(value: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert a linear power ratio to decibels.
 
     Raises :class:`ValueError` for non-positive inputs, which have no
     logarithm — callers that want a floor should clamp first.
     """
-    arr = np.asarray(value, dtype=float)
+    arr = np.asarray(value, dtype=np.float64)
     if np.any(arr <= 0):
         raise ValueError("linear_to_db requires strictly positive values")
-    return 10.0 * np.log10(arr)
+    out: npt.NDArray[np.float64] = 10.0 * np.log10(arr)
+    return out
 
 
-def dbm_to_watt(value_dbm):
+def dbm_to_watt(value_dbm: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert absolute power in dBm to watts.
 
     >>> dbm_to_watt(0.0)
     0.001
     """
-    return np.power(10.0, (np.asarray(value_dbm, dtype=float) - 30.0) / 10.0)
+    out: npt.NDArray[np.float64] = np.power(
+        10.0, (np.asarray(value_dbm, dtype=np.float64) - 30.0) / 10.0
+    )
+    return out
 
 
-def watt_to_dbm(value_watt):
+def watt_to_dbm(value_watt: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert absolute power in watts to dBm."""
-    arr = np.asarray(value_watt, dtype=float)
+    arr = np.asarray(value_watt, dtype=np.float64)
     if np.any(arr <= 0):
         raise ValueError("watt_to_dbm requires strictly positive power")
-    return 10.0 * np.log10(arr) + 30.0
+    out: npt.NDArray[np.float64] = 10.0 * np.log10(arr) + 30.0
+    return out
 
 
 def wavelength(frequency_hz: float) -> float:
@@ -91,16 +100,18 @@ def thermal_noise_power(bandwidth_hz: float, noise_figure_db: float = 0.0) -> fl
     return noise * float(db_to_linear(noise_figure_db))
 
 
-def amplitude_from_power(power_watt) -> np.ndarray | float:
+def amplitude_from_power(
+    power_watt: npt.ArrayLike,
+) -> npt.NDArray[np.float64] | float:
     """Signal amplitude (RMS) corresponding to a mean power.
 
     For a unit-power complex baseband waveform ``x``, scaling by this
     amplitude yields mean power ``power_watt``.
     """
-    arr = np.asarray(power_watt, dtype=float)
+    arr = np.asarray(power_watt, dtype=np.float64)
     if np.any(arr < 0):
         raise ValueError("power must be non-negative")
-    out = np.sqrt(arr)
+    out: npt.NDArray[np.float64] = np.sqrt(arr)
     return float(out) if out.ndim == 0 else out
 
 

@@ -150,14 +150,18 @@ class TestAdaptiveConvergence:
         runner = CampaignRunner(store=ResultStore(tmp_path))
         camp = _campaign(bernoulli_kind)
         result = adaptive_run(runner, camp, precision=PRECISION)
-        state = json.loads(
-            adaptive_checkpoint_path(runner, camp).read_text()
-        )
+        text = adaptive_checkpoint_path(runner, camp).read_text()
+        state = json.loads(text)
         assert state["converged"] is True
         assert state["rounds"] == result.rounds
         assert [c["n_trials"] for c in state["cells"]] == [
             cell.n_trials for cell in result.cells
         ]
+        # Canonical bytes: sorted keys, strict-finite (lint SER rules).
+        assert text == (
+            json.dumps(state, indent=2, sort_keys=True, allow_nan=False)
+            + "\n"
+        )
 
 
 class TestAdaptiveValidation:

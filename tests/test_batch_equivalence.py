@@ -198,7 +198,7 @@ def assert_mac_statistically_equivalent(serial, vectorized):
     lo_v, hi_v = wilson_interval(_pool(vectorized, "delivered_packets"), off)
     assert (max(lo_s, lo_v) - MAC_DELIVERY_SLACK
             <= min(hi_s, hi_v) + MAC_DELIVERY_SLACK), (
-        f"pooled delivery intervals too far apart: "
+        "pooled delivery intervals too far apart: "
         f"serial [{lo_s:.4f}, {hi_s:.4f}] vs "
         f"vectorized [{lo_v:.4f}, {hi_v:.4f}]"
     )

@@ -14,7 +14,6 @@ import pytest
 from repro.campaigns import (
     CampaignRunner,
     CampaignSpec,
-    CampaignUnit,
     MissingUnitsError,
     campaign_names,
     describe_campaigns,
@@ -266,6 +265,21 @@ class TestCampaignRunner:
         state2 = json.loads(path.read_text())
         assert state2["run"]["n_trials"] == 5
         assert topped.outcome_counts() == {"topup": 2}
+
+    def test_checkpoint_bytes_are_canonical(self, tmp_path):
+        # Regression for the lint SER rules: the checkpoint writer must
+        # emit sorted keys and strict-finite JSON, so re-serialising the
+        # parsed state canonically reproduces the file bytes exactly.
+        camp = _tiny_campaign()
+        runner = CampaignRunner(store=ResultStore(tmp_path))
+        runner.run(camp)
+        text = runner.checkpoint_path(camp).read_text()
+        state = json.loads(text)
+        canonical = (
+            json.dumps(state, indent=2, sort_keys=True, allow_nan=False)
+            + "\n"
+        )
+        assert text == canonical
 
     def test_progress_callback_sees_every_unit(self, tmp_path):
         camp = _tiny_campaign()

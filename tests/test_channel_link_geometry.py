@@ -123,7 +123,9 @@ class TestChannelModel:
 
     def test_backscatter_much_weaker_than_direct(self):
         gains = ChannelModel().realize(Scene.two_device_line(1.0), rng=0)
-        assert gains.backscatter_power("alice", "bob") < 0.01 * gains.direct_power("bob")
+        assert gains.backscatter_power("alice", "bob") < (
+            0.01 * gains.direct_power("bob")
+        )
 
 
 class TestReceivedComposition:

@@ -41,7 +41,8 @@ class TestNormalizedCorrelation:
 
     def test_scale_and_offset_invariant(self):
         pattern = np.array([1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0])
-        x = 5.0 + 0.01 * np.concatenate([np.zeros(5) + np.random.default_rng(0).standard_normal(5), pattern, np.zeros(5)])
+        noise = np.zeros(5) + np.random.default_rng(0).standard_normal(5)
+        x = 5.0 + 0.01 * np.concatenate([noise, pattern, np.zeros(5)])
         corr = normalized_correlation(x, pattern)
         assert corr.max() > 0.99
 

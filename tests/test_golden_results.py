@@ -108,7 +108,7 @@ def test_golden_results(name):
     fixture = GOLDEN_DIR / f"{name}.json"
     assert fixture.exists(), (
         f"missing golden fixture {fixture}; generate it with "
-        f"`PYTHONPATH=src python benchmarks/regenerate_golden.py`"
+        "`PYTHONPATH=src python benchmarks/regenerate_golden.py`"
     )
     expected = json.loads(fixture.read_text())
     current = {"numpy": numpy.__version__, "scipy": scipy.__version__}
@@ -116,6 +116,6 @@ def test_golden_results(name):
         pytest.skip(
             f"golden fixture generated under {expected['environment']}, "
             f"running under {current}; regenerate with "
-            f"benchmarks/regenerate_golden.py to compare here"
+            "benchmarks/regenerate_golden.py to compare here"
         )
     _assert_no_drift(expected, compute_golden(name), name)

@@ -13,7 +13,6 @@ from repro.analysis.ber import (
 from repro.channel import ChannelModel, RayleighFading, Scene
 from repro.fullduplex import FullDuplexConfig, FullDuplexLink
 from repro.fullduplex.collision import MarginCollapseDetector
-from repro.hardware.reflection import ReflectionModulator, ReflectionStates
 from repro.phy import BackscatterReceiver, BackscatterTransmitter
 from repro.utils.rng import random_bits
 

@@ -3,7 +3,6 @@ protocol-level claims."""
 
 import pytest
 
-from repro.hardware.energy import EnergyModel
 from repro.mac.arq import HalfDuplexArqPolicy, NoArqPolicy
 from repro.mac.fdmac import FullDuplexAbortPolicy
 from repro.mac.metrics import NetworkMetrics, NodeMetrics
@@ -43,7 +42,8 @@ class TestLossFreeSingleLink:
 
     def test_goodput_matches_offered_load(self):
         cfg, metrics = _run(NoArqPolicy)
-        offered_bps = metrics.nodes[0].offered_packets * cfg.payload_bits / cfg.horizon_seconds
+        offered = metrics.nodes[0].offered_packets
+        offered_bps = offered * cfg.payload_bits / cfg.horizon_seconds
         assert metrics.goodput_bps == pytest.approx(offered_bps, rel=1e-6)
 
 

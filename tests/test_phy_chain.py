@@ -4,14 +4,14 @@ framed reception over deterministic and statistical channels."""
 import numpy as np
 import pytest
 
-from repro.ambient import OfdmLikeSource, ToneSource
-from repro.channel import ChannelModel, Scene
+from repro.ambient import ToneSource
+from repro.channel import Scene
 from repro.phy import (
     BackscatterReceiver,
     BackscatterTransmitter,
     PhyConfig,
 )
-from repro.phy.framing import build_frame, random_frame
+from repro.phy.framing import random_frame
 from repro.phy.modulation import bits_to_waveform, chip_waveform, chips_for_bits
 from repro.phy.sync import acquire_frame_start
 from repro.utils.rng import random_bits

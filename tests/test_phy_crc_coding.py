@@ -13,7 +13,7 @@ from repro.phy.coding import (
     nrz_decode,
     nrz_encode,
 )
-from repro.phy.crc import append_crc16, check_crc16, crc8, crc16
+from repro.phy.crc import append_crc16, check_crc16, crc16, crc8
 
 
 class TestCrc:

@@ -10,17 +10,16 @@ import numpy as np
 import pytest
 
 from repro.ambient import ToneSource
-from repro.channel import ChannelModel, NoFading, Scene
+from repro.channel import ChannelModel, NoFading, RayleighFading, Scene
 from repro.fullduplex import FullDuplexConfig, FullDuplexLink
 from repro.fullduplex.link import DATA_PILOT_BITS
-from repro.channel import RayleighFading
 from repro.phy import (
     BackscatterReceiver,
     BackscatterTransmitter,
     PhyConfig,
 )
-from repro.phy.sync import acquire_frame_start
 from repro.phy.framing import random_frame
+from repro.phy.sync import acquire_frame_start
 from repro.utils.rng import random_bits
 
 

@@ -11,8 +11,8 @@ from repro.dsp.filters import (
 )
 from repro.dsp.ops import bit_errors, repeat_samples
 from repro.dsp.resample import hold_resample
-from repro.fullduplex.protocol import FeedbackProtocol
 from repro.fullduplex.config import FullDuplexConfig
+from repro.fullduplex.protocol import FeedbackProtocol
 from repro.hardware.energy import EnergyModel
 from repro.mac.fdmac import FullDuplexAbortPolicy
 from repro.phy import coding as lc

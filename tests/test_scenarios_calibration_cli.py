@@ -5,7 +5,6 @@ import pytest
 
 from repro.ambient import OfdmLikeSource
 from repro.analysis.calibration import CalibrationReport, calibration_report
-from repro.channel import ChannelModel
 from repro.fullduplex import FullDuplexConfig, MarginCollapseDetector
 from repro.fullduplex.scenarios import collision_scenario
 from repro.phy import PhyConfig
