@@ -1,0 +1,237 @@
+"""O1 — Observability overhead: instrumentation must be ~free when off.
+
+The obs layer (ISSUE 10) instruments the hottest paths in the repo —
+``store.get``/``put``, ``cached_run``, the runner's backend dispatch
+and the campaign unit loop.  That is only acceptable if the
+*disabled* path (no session started, the default for every library
+consumer) costs nothing measurable.  This bench pins that contract:
+
+* **null** — the shipped code with no obs session: every ``obs.span``
+  call does one global load and returns the shared no-op span.  Must
+  be within :data:`NULL_OVERHEAD_MAX` of the stubbed baseline.
+* **stub** — the same workload with ``obs.span``/``inc``/``set_gauge``
+  monkey-patched to bare no-op lambdas: the cheapest the entry points
+  could possibly be, standing in for uninstrumented code.
+* **traced** — a live session writing a JSON-lines trace to disk.
+  Allowed to cost more, but bounded by :data:`TRACED_OVERHEAD_MAX`.
+
+The workload is one cold campaign (real trial compute, store puts)
+plus :data:`WARM_RUNS` warm re-runs (pure store hits — the span-dense
+path where per-call overhead would show first).  A micro-benchmark of
+the raw ``obs.span`` enter/exit cost rides along in the JSON.
+
+Run as a script (the CI full job does): prints the table, writes
+``BENCH_o1_obs_overhead.json``, exits non-zero if either bar is
+missed.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+import contextlib
+import gc
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from common import emit_bench_json, save_result
+
+import repro.obs as obs
+from repro.analysis.reporting import format_table
+from repro.campaigns import CampaignRunner, CampaignSpec
+from repro.store import ResultStore
+
+SEED = 7
+N_TRIALS = 10
+WARM_RUNS = 20
+REPEATS = 15
+SPAN_MICRO_ITERS = 50_000
+
+#: CI bars (ISSUE 10 acceptance criteria).  The null-recorder path must
+#: be indistinguishable from no instrumentation at all; live tracing
+#: may cost a little, but a campaign is trial-compute dominated, so
+#: anything past this bound means a span leaked into a per-trial loop.
+NULL_OVERHEAD_MAX = 0.02
+TRACED_OVERHEAD_MAX = 0.10
+
+CAMPAIGN = CampaignSpec(
+    name="bench-o1-obs",
+    overrides={"sample_rate_hz": 32_000.0, "source_bandwidth_hz": 20e3},
+    grid={"distance_m": (0.4, 0.8)},
+    kinds=("forward-ber",),
+    n_trials=N_TRIALS,
+    seed=SEED,
+)
+
+
+def _timed_workload() -> float:
+    """One cold campaign + WARM_RUNS pure-store-hit re-runs.
+
+    Only the campaign runs are on the clock — tempdir creation and
+    teardown are filesystem noise that would swamp a 2 % bar.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = CampaignRunner(store=ResultStore(Path(tmp)))
+        start = time.perf_counter()
+        runner.run(CAMPAIGN)
+        for _ in range(WARM_RUNS):
+            runner.run(CAMPAIGN)
+        return time.perf_counter() - start
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@contextlib.contextmanager
+def _stubbed_obs():
+    """obs entry points as bare no-ops: the uninstrumented stand-in."""
+    saved = (obs.span, obs.inc, obs.observe, obs.set_gauge)
+    obs.span = lambda name, **attrs: obs.NOOP_SPAN
+    obs.inc = lambda name, amount=1: None
+    obs.observe = lambda name, value, **kwargs: None
+    obs.set_gauge = lambda name, value: None
+    try:
+        yield
+    finally:
+        obs.span, obs.inc, obs.observe, obs.set_gauge = saved
+
+
+def bench_macro() -> dict:
+    """Campaign wall time: stubbed baseline vs null recorder vs traced.
+
+    The workload's wall time has a long noise tail (CPU scaling,
+    noisy-neighbour containers: min-to-median spread is ~10 % on a
+    loaded box) but a sharp floor, so the gated overhead compares the
+    **minimum over all rounds** per mode — the floor is what the
+    instrumentation could actually slow down.  Modes run back-to-back
+    inside every round so a drifting machine cannot starve one mode of
+    quiet samples; the median per-round ratio is reported alongside as
+    a drift diagnostic.
+    """
+    _timed_workload()  # warm caches (engine cache, imports) off the clock
+
+    def traced_workload() -> float:
+        with tempfile.TemporaryDirectory() as tmp:
+            obs.start(trace_path=Path(tmp) / "trace.jsonl")
+            try:
+                return _timed_workload()
+            finally:
+                obs.stop()
+
+    rounds = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            with _stubbed_obs():
+                stub = _timed_workload()
+            null = _timed_workload()
+            traced = traced_workload()
+            rounds.append((stub, null, traced))
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    stub_s = min(r[0] for r in rounds)
+    null_s = min(r[1] for r in rounds)
+    traced_s = min(r[2] for r in rounds)
+    return {
+        "stub_s": stub_s,
+        "null_s": null_s,
+        "traced_s": traced_s,
+        "null_overhead": null_s / stub_s - 1.0,
+        "traced_overhead": traced_s / stub_s - 1.0,
+        "null_median_ratio": statistics.median(n / s - 1.0
+                                               for s, n, _ in rounds),
+        "traced_median_ratio": statistics.median(t / s - 1.0
+                                                 for s, _, t in rounds),
+    }
+
+
+def bench_span_micro() -> dict:
+    """Raw per-span enter/exit cost, disabled vs live-traced."""
+
+    def spin():
+        for _ in range(SPAN_MICRO_ITERS):
+            with obs.span("bench.noop"):
+                pass
+
+    disabled_s = _best_of(3, spin)
+    with tempfile.TemporaryDirectory() as tmp:
+        obs.start(trace_path=Path(tmp) / "micro.jsonl")
+        try:
+            enabled_s = _best_of(3, spin)
+        finally:
+            obs.stop()
+    return {
+        "span_disabled_ns": disabled_s / SPAN_MICRO_ITERS * 1e9,
+        "span_enabled_ns": enabled_s / SPAN_MICRO_ITERS * 1e9,
+    }
+
+
+def main() -> int:
+    macro = bench_macro()
+    micro = bench_span_micro()
+
+    text = format_table(
+        ["mode", "min_wall_s", "overhead"],
+        [
+            ("stubbed", f"{macro['stub_s']:.4f}", "baseline"),
+            ("null", f"{macro['null_s']:.4f}",
+             f"{macro['null_overhead']:+.2%}"),
+            ("traced", f"{macro['traced_s']:.4f}",
+             f"{macro['traced_overhead']:+.2%}"),
+        ],
+    )
+    text += (
+        f"\nnull bar:   <= {NULL_OVERHEAD_MAX:.0%}"
+        f"   traced bar: <= {TRACED_OVERHEAD_MAX:.0%}\n"
+        f"span enter/exit: {micro['span_disabled_ns']:.0f} ns disabled, "
+        f"{micro['span_enabled_ns']:.0f} ns traced"
+    )
+    save_result("o1_obs_overhead", text)
+
+    units = len(CAMPAIGN.units())
+    emit_bench_json(
+        "o1_obs_overhead",
+        wall_time_s=macro["null_s"],
+        trials=N_TRIALS * units * (1 + WARM_RUNS),
+        scenario="campaign:bench-o1-obs", seed=SEED,
+        stub_s=round(macro["stub_s"], 6),
+        null_s=round(macro["null_s"], 6),
+        traced_s=round(macro["traced_s"], 6),
+        null_overhead=round(macro["null_overhead"], 5),
+        traced_overhead=round(macro["traced_overhead"], 5),
+        null_median_ratio=round(macro["null_median_ratio"], 5),
+        traced_median_ratio=round(macro["traced_median_ratio"], 5),
+        null_overhead_max=NULL_OVERHEAD_MAX,
+        traced_overhead_max=TRACED_OVERHEAD_MAX,
+        span_disabled_ns=round(micro["span_disabled_ns"], 1),
+        span_enabled_ns=round(micro["span_enabled_ns"], 1),
+        warm_runs=WARM_RUNS,
+    )
+
+    failed = False
+    if macro["null_overhead"] > NULL_OVERHEAD_MAX:
+        print("OBS OVERHEAD REGRESSION: null recorder costs "
+              f"{macro['null_overhead']:+.2%} over the stubbed baseline "
+              f"(bar <= {NULL_OVERHEAD_MAX:.0%})")
+        failed = True
+    if macro["traced_overhead"] > TRACED_OVERHEAD_MAX:
+        print("OBS OVERHEAD REGRESSION: live tracing costs "
+              f"{macro['traced_overhead']:+.2%} over the stubbed baseline "
+              f"(bar <= {TRACED_OVERHEAD_MAX:.0%})")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

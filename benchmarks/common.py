@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import json
 import pathlib
+import platform
 import time
+
+import numpy
 
 from repro.channel import ChannelModel, Scene
 from repro.experiments import get_scenario
@@ -41,7 +44,9 @@ def emit_bench_json(
     ``trials`` is the bench's configured Monte-Carlo budget (trial count
     or simulator-run count — whatever unit of work the bench repeats),
     so ``trials_per_sec`` is comparable commit to commit for the same
-    bench.  ``scenario`` and ``seed`` pin what was measured.
+    bench.  ``scenario`` and ``seed`` pin what was measured, and the
+    python/numpy versions pin the toolchain the number was taken on —
+    cross-commit comparisons are only meaningful within one toolchain.
     """
     payload = {
         "bench": name,
@@ -52,6 +57,8 @@ def emit_bench_json(
         ),
         "scenario": scenario,
         "seed": seed,
+        "python_version": platform.python_version(),
+        "numpy_version": numpy.__version__,
         **extra,
     }
     RESULTS_DIR.mkdir(exist_ok=True)

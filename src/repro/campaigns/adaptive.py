@@ -36,6 +36,7 @@ import json
 import math
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.analysis.theory import wilson_interval
 from repro.campaigns.spec import CampaignSpec, CampaignUnit
 from repro.store.cache import cached_run
@@ -203,27 +204,37 @@ def adaptive_run(
         seed=units[0].seed,
     )
     while True:
-        cells = []
-        for unit, n in zip(units, budgets):
-            grown = replace(unit, n_trials=n)
-            outcome = cached_run(
-                runner.store,
-                runner.runner_for(grown),
-                grown.spec,
-                seed=grown.seed,
-            )
-            result.trials_computed += outcome.trials_computed
-            successes, trials = WILSON_COUNTS[unit.kind](outcome.table)
-            low, high = wilson_interval(successes, trials)
-            cells.append(
-                AdaptiveCell(
-                    unit=grown,
-                    n_trials=n,
-                    width=high - low,
-                    successes=successes,
-                    trials=trials,
+        with obs.span(
+            "adaptive.round",
+            campaign=campaign.name,
+            round=result.rounds + 1,
+            budget_total=sum(budgets),
+        ) as round_span:
+            cells = []
+            round_computed = 0
+            for unit, n in zip(units, budgets):
+                grown = replace(unit, n_trials=n)
+                outcome = cached_run(
+                    runner.store,
+                    runner.runner_for(grown),
+                    grown.spec,
+                    seed=grown.seed,
                 )
-            )
+                result.trials_computed += outcome.trials_computed
+                round_computed += outcome.trials_computed
+                successes, trials = WILSON_COUNTS[unit.kind](outcome.table)
+                low, high = wilson_interval(successes, trials)
+                cells.append(
+                    AdaptiveCell(
+                        unit=grown,
+                        n_trials=n,
+                        width=high - low,
+                        successes=successes,
+                        trials=trials,
+                    )
+                )
+            round_span.note(trials_computed=round_computed)
+        obs.inc("adaptive.rounds")
         result.cells = cells
         result.rounds += 1
         widths = [cell.width for cell in cells]
@@ -258,6 +269,8 @@ def adaptive_run(
                 break
             budgets[i] += grant
             granted += grant
+            obs.inc("adaptive.grants")
+        obs.inc("adaptive.trials_granted", granted)
         if granted == 0:
             break
     return result

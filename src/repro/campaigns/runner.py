@@ -34,14 +34,18 @@ is discarded — cheaply, since matching store entries still hit.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.campaigns.spec import CampaignSpec, CampaignUnit
 from repro.experiments import TRIAL_AGGREGATES, TRIAL_KINDS, ExperimentRunner
 from repro.experiments.results import ResultTable
 from repro.store.cache import cached_run
 from repro.store.keys import CODE_VERSION
 from repro.store.store import ResultStore, _atomic_write
+
+log = logging.getLogger("repro.campaigns")
 
 
 class MissingUnitsError(RuntimeError):
@@ -162,29 +166,63 @@ class CampaignRunner:
         )
         fingerprint = self._fingerprint(campaign, result)
         state = self._load_checkpoint(campaign, fingerprint)
-        for unit in units:
-            outcome = cached_run(
-                self.store, self.runner_for(unit), unit.spec, seed=unit.seed
-            )
-            result.units.append((unit, outcome))
-            state["units"][outcome.key.digest] = {
-                "label": unit.label(),
-                "kind": unit.kind,
-                "arm": unit.arm,
-                "point": dict(unit.point),
-                "outcome": outcome.outcome,
-                "trials_computed": outcome.trials_computed,
-                "n_trials": unit.n_trials,
-            }
-            state["total"] = len(units)
-            state["completed"] = len(result.units)
-            _atomic_write(
-                self.checkpoint_path(campaign),
-                json.dumps(state, indent=2, sort_keys=True, allow_nan=False)
-                + "\n",
-            )
-            if progress is not None:
-                progress(unit, outcome)
+        log.info(
+            "campaign %s: %d units at %d trials (seed %d)",
+            campaign.name, len(units), result.n_trials, result.seed,
+        )
+        with obs.span(
+            "campaign.run",
+            campaign=campaign.name,
+            units=len(units),
+            n_trials=result.n_trials,
+        ):
+            for unit in units:
+                with obs.span(
+                    "campaign.unit",
+                    label=unit.label(),
+                    kind=unit.kind,
+                    arm=unit.arm,
+                ) as sp:
+                    outcome = cached_run(
+                        self.store, self.runner_for(unit), unit.spec,
+                        seed=unit.seed,
+                    )
+                    sp.note(
+                        outcome=outcome.outcome,
+                        trials_computed=outcome.trials_computed,
+                    )
+                obs.inc("campaign.units")
+                obs.inc(f"campaign.unit.{outcome.outcome}")
+                obs.inc("campaign.trials_computed", outcome.trials_computed)
+                log.debug(
+                    "campaign unit %s: %s (%d trials computed)",
+                    unit.label(), outcome.outcome, outcome.trials_computed,
+                )
+                result.units.append((unit, outcome))
+                state["units"][outcome.key.digest] = {
+                    "label": unit.label(),
+                    "kind": unit.kind,
+                    "arm": unit.arm,
+                    "point": dict(unit.point),
+                    "outcome": outcome.outcome,
+                    "trials_computed": outcome.trials_computed,
+                    "n_trials": unit.n_trials,
+                }
+                state["total"] = len(units)
+                state["completed"] = len(result.units)
+                _atomic_write(
+                    self.checkpoint_path(campaign),
+                    json.dumps(
+                        state, indent=2, sort_keys=True, allow_nan=False
+                    )
+                    + "\n",
+                )
+                if progress is not None:
+                    progress(unit, outcome)
+        log.info(
+            "campaign %s: done (%d trials computed)",
+            campaign.name, result.trials_computed,
+        )
         return result
 
     def _fingerprint(self, campaign, result) -> dict:
@@ -210,6 +248,11 @@ class CampaignRunner:
                 and state.get("run") == fingerprint["run"]
             ):
                 return state
+            log.info(
+                "checkpoint %s is stale (campaign or budget changed); "
+                "starting fresh",
+                path,
+            )
         return {**fingerprint, "total": 0, "completed": 0, "units": {}}
 
     # -- inspection ----------------------------------------------------------

@@ -27,8 +27,11 @@ explore the headline trade-offs before touching the API.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from dataclasses import fields
+
+log = logging.getLogger("repro.cli")
 
 
 def _cli_error(message) -> SystemExit:
@@ -349,6 +352,8 @@ def _run_adaptive(args, runner, camp, format_table) -> int:
     from repro.campaigns.adaptive import adaptive_checkpoint_path
 
     def ticker(round_index, budgets, widths):
+        if getattr(args, "verbosity", 0) < 0:
+            return
         print(f"  round {round_index}: {sum(budgets)} trials allocated, "
               f"max width {max(widths):.4f}")
 
@@ -418,6 +423,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         def ticker(unit, outcome):
             nonlocal done
             done += 1
+            if getattr(args, "verbosity", 0) < 0:
+                return
             extra = (f" (+{outcome.trials_computed} trials)"
                      if outcome.trials_computed else "")
             print(f"  [{done}/{total}] {unit.label()}: "
@@ -476,6 +483,23 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Summarize a JSON-lines trace as a run report."""
+    import pathlib
+
+    from repro.obs import report_from_trace
+
+    try:
+        report = report_from_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        raise _cli_error(exc) from None
+    print(report.to_text())
+    if args.json:
+        pathlib.Path(args.json).write_text(report.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     # Lazy: the linter pulls in ast/tokenize machinery no simulation
     # command needs (same rationale as the lazy batch exports).
@@ -492,7 +516,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="experiment seed (default 0)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more diagnostics on stderr (-v info, "
+                             "-vv debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less output: errors only on stderr, "
+                             "progress tickers suppressed")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_flags(p):
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="record a JSON-lines span trace of this run "
+                            "to FILE (summarize with `repro obs report`)")
+        p.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write the run's metrics snapshot "
+                            "(counters/gauges/histograms) as JSON to FILE")
 
     def add_scenario_flag(p):
         p.add_argument("--scenario", default="calibrated-default",
@@ -557,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mac.add_argument("--precision", type=float, default=None,
                        help="stop an arm early once delivery is known "
                             "to +/- this half-width (95%% Wilson)")
+    add_obs_flags(p_mac)
     p_mac.set_defaults(func=cmd_mac)
 
     p_scen = sub.add_parser("scenario", help="inspect the scenario registry")
@@ -586,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the table as JSON to this path")
     p_sweep.add_argument("--csv", default=None,
                          help="also write the table as CSV to this path")
+    add_obs_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_camp = sub.add_parser(
@@ -639,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_crun.add_argument("--budget", type=int, default=None,
                         help="with --adaptive: cap on the summed "
                              "per-cell trial budgets")
+    add_obs_flags(p_crun)
     p_crun.set_defaults(func=cmd_campaign, action="run")
 
     p_cstat = camp_sub.add_parser(
@@ -653,6 +694,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the report (all kinds) as JSON "
                              "to this path")
     p_crep.set_defaults(func=cmd_campaign, action="report")
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability: summarize recorded traces",
+        description="Work with the observability layer's artifacts. "
+        "`report` aggregates a JSON-lines trace (recorded with the "
+        "--trace flag on `campaign run`, `mac`, or `sweep`) into "
+        "per-span timing statistics plus, for campaign traces, the "
+        "store-hit / trials-computed accounting.",
+    )
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+    p_oreport = obs_sub.add_parser(
+        "report", help="summarize a JSON-lines trace")
+    # dest is NOT "trace": main() treats an args.trace attribute as the
+    # record-a-trace flag, and reporting must never open its input for
+    # writing.
+    p_oreport.add_argument("trace_file", metavar="TRACE",
+                           help="trace file written by --trace")
+    p_oreport.add_argument("--json", default=None,
+                           help="also write the report as JSON to this "
+                                "path")
+    p_oreport.set_defaults(func=cmd_obs, action="report")
 
     p_lint = sub.add_parser(
         "lint",
@@ -671,9 +734,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    """Entry point (``python -m repro`` / the ``repro`` console script)."""
+    """Entry point (``python -m repro`` / the ``repro`` console script).
+
+    Applies the global ``-v``/``-q`` verbosity to the ``repro.*``
+    logger hierarchy, and — when the subcommand carries ``--trace`` or
+    ``--metrics`` — brackets the command in an observability session,
+    writing the requested artifacts on the way out (even if the
+    command fails, so a crashed run still leaves its partial trace).
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    args.verbosity = args.verbose - args.quiet
+    from repro.obs import configure_logging
+
+    configure_logging(args.verbosity)
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    if trace is None and metrics is None:
+        return args.func(args)
+
+    import pathlib
+
+    from repro import obs
+
+    obs.start(trace_path=trace)
+    try:
+        code = args.func(args)
+    finally:
+        session = obs.stop()
+        if metrics is not None:
+            pathlib.Path(metrics).write_text(
+                session.metrics.to_json() + "\n"
+            )
+        if args.verbosity >= 0:
+            if trace is not None:
+                print(f"wrote {trace}")
+            if metrics is not None:
+                print(f"wrote {metrics}")
+    return code
 
 
 if __name__ == "__main__":

@@ -44,6 +44,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.mac import mac_trial
 from repro.experiments.runner import (
     BITS_PER_TRIAL,
@@ -77,16 +78,23 @@ _MAC_ENGINE_CACHE: OrderedDict[ScenarioSpec, SlottedMacEngine] = (
 )
 
 
-def _cached_engine(cache: OrderedDict, spec: ScenarioSpec, build: Callable):
+def _cached_engine(
+    cache: OrderedDict, spec: ScenarioSpec, build: Callable,
+    label: str = "engine",
+):
     """LRU lookup: build on miss, refresh on hit, evict past the cap."""
     engine = cache.get(spec)
     if engine is None:
-        engine = build(spec)
+        with obs.span(f"batch.{label}.build"):
+            engine = build(spec)
         cache[spec] = engine
+        obs.inc(f"batch.{label}.build")
     else:
         cache.move_to_end(spec)
+        obs.inc(f"batch.{label}.hit")
     while len(cache) > MAX_CACHED_ENGINES:
         cache.popitem(last=False)
+        obs.inc(f"batch.{label}.evict")
     return engine
 
 
@@ -101,12 +109,15 @@ def _engine_for(spec: ScenarioSpec) -> BatchFullDuplexEngine:
         _ENGINE_CACHE,
         spec,
         lambda s: BatchFullDuplexEngine(link=_stack_for(s).link),
+        label="phy_engine",
     )
 
 
 def _mac_engine_for(spec: ScenarioSpec) -> SlottedMacEngine:
     """Build (or reuse) the slotted MAC engine for ``spec``."""
-    return _cached_engine(_MAC_ENGINE_CACHE, spec, SlottedMacEngine)
+    return _cached_engine(
+        _MAC_ENGINE_CACHE, spec, SlottedMacEngine, label="mac_engine"
+    )
 
 
 def _lane_streams(children, count: int = 3) -> tuple[list, ...]:

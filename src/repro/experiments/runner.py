@@ -39,6 +39,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ScenarioSpec, ScenarioStack
 from repro.utils.rng import ensure_rng, random_bits, spawn_rngs
@@ -244,12 +245,22 @@ class ExperimentRunner:
         if first_trial:
             root.spawn(first_trial)
         backend = self.resolved_backend()
-        if backend == "vectorized":
-            records = self._run_vectorized(spec, root, first_trial)
-        elif backend == "parallel":
-            records = self._run_parallel(spec, root, first_trial)
-        else:
-            records = self._run_serial(spec, root, first_trial)
+        with obs.span(
+            "runner.run",
+            backend=backend,
+            workers=max(1, self.workers),
+            max_trials=self.max_trials,
+            first_trial=first_trial,
+        ) as sp:
+            if backend == "vectorized":
+                records = self._run_vectorized(spec, root, first_trial)
+            elif backend == "parallel":
+                records = self._run_parallel(spec, root, first_trial)
+            else:
+                records = self._run_serial(spec, root, first_trial)
+            sp.note(trials_run=len(records))
+            obs.inc("runner.trials", len(records))
+            obs.inc(f"runner.runs.{backend}")
         metadata = {
             "scenario": spec.to_dict(),
             "seed": _seed_repr(root),
@@ -327,6 +338,7 @@ class ExperimentRunner:
         chunk = self.chunk_size or 2 * self.workers
         check_positive("chunk_size", chunk)
         records: list[dict] = []
+        obs.set_gauge("runner.pool_workers", self.workers)
         with multiprocessing.Pool(processes=self.workers) as pool:
             for start in range(first_trial, self.max_trials, chunk):
                 count = min(chunk, self.max_trials - start)
@@ -334,7 +346,11 @@ class ExperimentRunner:
                     (self.trial, spec, child, start + offset)
                     for offset, child in enumerate(root.spawn(count))
                 ]
-                records.extend(pool.map(_invoke, batch))
+                with obs.span(
+                    "runner.chunk", backend="parallel",
+                    start=start, count=count,
+                ):
+                    records.extend(pool.map(_invoke, batch))
                 stop = self._stop_index(records)
                 if stop is not None:
                     return records[:stop]
@@ -357,7 +373,11 @@ class ExperimentRunner:
         records: list[dict] = []
         for start in range(first_trial, self.max_trials, chunk):
             count = min(chunk, self.max_trials - start)
-            batch = batch_trial(spec, root.spawn(count))
+            with obs.span(
+                "runner.chunk", backend="vectorized",
+                start=start, count=count,
+            ):
+                batch = batch_trial(spec, root.spawn(count))
             if len(batch) != count:
                 raise ValueError(
                     f"batched trial returned {len(batch)} records for "

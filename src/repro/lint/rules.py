@@ -35,7 +35,8 @@ rule = REGISTRY.rule
 
 _PACKAGE_RE = re.compile(r"(^|/)repro/")
 _SERIAL_RE = re.compile(
-    r"(^|/)repro/(store|campaigns)/|(^|/)repro/experiments/results\.py$"
+    r"(^|/)repro/(store|campaigns|obs)/"
+    r"|(^|/)repro/experiments/results\.py$"
 )
 
 
@@ -191,8 +192,9 @@ class NoWallClock(BaseChecker):
     """``time.time()`` in a record, key or checkpoint makes two
     identical runs produce different bytes — which breaks the
     content-addressed store's equality contract.  ``perf_counter`` /
-    ``monotonic`` stay legal: measuring duration is fine, *recording
-    the clock* is not."""
+    ``monotonic`` are handled separately: measuring duration is fine,
+    but inside the package it must flow through the blessed
+    ``repro.obs.clock`` module (DET004)."""
 
     TARGETS = frozenset({
         "time.time",
@@ -294,6 +296,38 @@ class NoMutableDefault(BaseChecker):
     visit_FunctionDef = _check
     visit_AsyncFunctionDef = _check
     visit_Lambda = _check
+
+
+@rule(
+    id="DET004",
+    name="clock-via-obs-clock",
+    severity="error",
+    message="direct monotonic clock read via `{call}` in package code",
+    fix_hint="route through `repro.obs.clock.monotonic_s` / "
+    "`monotonic_ns`; one blessed clock module keeps every timing site "
+    "auditable and out of records, keys and checkpoints (benchmarks "
+    "and tests may read `time.perf_counter` directly)",
+    applies_to=in_package,
+)
+class ClockViaObsClock(BaseChecker):
+    """The observability layer measures durations everywhere, so
+    monotonic reads can no longer be spotted by eye.  All package
+    timing flows through ``repro.obs.clock`` — whose own two reads
+    carry justified ``# repro: noqa[DET004]`` suppressions — so the
+    set of places timing can leak into results stays exactly one
+    module.  Wall-clock reads are DET001's business."""
+
+    TARGETS = frozenset({
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    })
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.ctx.resolve(node.func)
+        if dotted in self.TARGETS:
+            self.report(node, call=dotted)
 
 
 # -- serialization discipline ----------------------------------------------

@@ -1,0 +1,78 @@
+"""``repro.obs`` — deterministic tracing, metrics, and run reports.
+
+The observability layer for the whole stack: spans over the hot paths
+(store gets, runner chunks, campaign units, engine builds), a metrics
+registry of counters/gauges/histograms, JSON-lines traces, and run
+reports that reconcile a trace against campaign accounting.
+
+Design constraints (see DESIGN.md §11):
+
+* **Off by default, free when off.**  Until :func:`start` is called,
+  every entry point is a null recorder — one global check, no clock
+  read, no allocation.
+* **One blessed clock.**  All timing flows through
+  :mod:`repro.obs.clock` (monotonic only); direct clock reads in
+  package code are a lint error (``DET004``).
+* **Never perturb the science.**  Instrumentation touches no RNG and
+  no record bytes; instrumented runs are bitwise-identical to
+  uninstrumented ones.
+* **Canonical JSON everywhere.**  Traces, metrics snapshots, and
+  reports all serialise sorted-key, strict-finite.
+
+Typical use::
+
+    from repro import obs
+
+    obs.start(trace_path="trace.jsonl")
+    with obs.span("my.phase", size=n):
+        ...
+    session = obs.stop()
+    print(session.metrics.to_json())
+"""
+
+from __future__ import annotations
+
+from repro.obs.logconfig import configure_logging, verbosity_to_level
+from repro.obs.metrics import DEFAULT_TIME_EDGES_S, MetricsRegistry
+from repro.obs.report import (
+    RunReport,
+    load_trace,
+    report_from_events,
+    report_from_trace,
+)
+from repro.obs.session import (
+    NOOP_SPAN,
+    ObsSession,
+    current_session,
+    inc,
+    observe,
+    set_gauge,
+    span,
+    start,
+    stop,
+    traced,
+)
+from repro.obs.trace import TRACE_VERSION, TraceWriter
+
+__all__ = [
+    "DEFAULT_TIME_EDGES_S",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "ObsSession",
+    "RunReport",
+    "TRACE_VERSION",
+    "TraceWriter",
+    "configure_logging",
+    "current_session",
+    "inc",
+    "load_trace",
+    "observe",
+    "report_from_events",
+    "report_from_trace",
+    "set_gauge",
+    "span",
+    "start",
+    "stop",
+    "traced",
+    "verbosity_to_level",
+]

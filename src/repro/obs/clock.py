@@ -1,0 +1,42 @@
+"""The one blessed clock: monotonic durations for observability.
+
+Every duration the observability layer measures — span wall times,
+chunk timings, engine build costs — is read here and nowhere else.
+Package code reading a clock directly is a lint error (``DET004``):
+wall-clock reads in records, keys or checkpoints make identical runs
+produce different bytes (``DET001``), and even *monotonic* reads
+scattered through the tree are an audit burden — each one is a site
+where timing could leak into results.  One module, one function, two
+justified suppressions below; everything else imports this.
+
+The clock is monotonic only.  Nothing in this module (or in the
+observability layer it feeds) can tell you what time it is — only how
+long something took.  Absolute timestamps stay out of traces on
+purpose: they are the classic source of run-to-run diff noise, and the
+trace schema (DESIGN §11) is defined relative to the session start.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic_ns", "monotonic_s"]
+
+
+def monotonic_s() -> float:
+    """Seconds on the process-local monotonic clock (float).
+
+    Suitable only for measuring durations: the zero point is arbitrary
+    and differs between processes.
+    """
+    # The blessed read: all repro.obs timing flows through this call.
+    return time.perf_counter()  # repro: noqa[DET004] -- the one blessed monotonic clock read
+
+
+def monotonic_ns() -> int:
+    """Nanoseconds on the process-local monotonic clock (int).
+
+    The integer twin of :func:`monotonic_s`, for callers that want to
+    avoid float accumulation over long sessions.
+    """
+    return time.perf_counter_ns()  # repro: noqa[DET004] -- the one blessed monotonic clock read

@@ -1,0 +1,62 @@
+"""CLI logging setup: one verbosity knob for the ``repro.*`` hierarchy.
+
+Every module in the package logs through ``logging.getLogger("repro.
+<area>")`` — ``repro.store``, ``repro.campaigns``, ``repro.cli`` — and
+this module maps the CLI's ``-v``/``-q`` count onto that hierarchy:
+
+====================  =========
+verbosity             level
+====================  =========
+``-q`` (−1 or lower)  ERROR
+default (0)           WARNING
+``-v`` (1)            INFO
+``-vv`` (2+)          DEBUG
+====================  =========
+
+Configuration is idempotent (re-running replaces our handler instead
+of stacking duplicates) and deliberately leaves ``propagate`` alone so
+pytest's ``caplog`` — which listens on the root logger — keeps seeing
+package log records in tests.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "verbosity_to_level"]
+
+#: Marker attribute so we can find (and replace) our own handler.
+_HANDLER_TAG = "_repro_cli_handler"
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """The :mod:`logging` level for a ``-v``/``-q`` count."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0, *, stream=None) -> logging.Logger:
+    """Point the ``repro`` logger at stderr at the requested verbosity.
+
+    Returns the configured ``repro`` logger.  Safe to call repeatedly
+    (e.g. across CLI invocations in one process): the previous handler
+    installed here is removed first.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(verbosity_to_level(verbosity))
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    return logger

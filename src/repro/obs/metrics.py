@@ -1,0 +1,233 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per observability session holds every
+instrument the instrumented code paths touch.  Instruments are created
+lazily on first use (``registry.inc("store.get.hit")`` just works), all
+mutation is serialised through one registry lock so concurrent chunk
+runners cannot lose increments, and a snapshot serialises to canonical
+strict-finite JSON (sorted keys, ``allow_nan=False`` — the same rules
+``repro.lint`` enforces on the store and campaign layers).
+
+Histograms use **fixed bucket edges**, declared at creation and
+immutable afterwards: observations land in the bucket
+``edges[i-1] < value <= edges[i]`` with an implicit overflow bucket
+above the last edge.  Fixed edges keep snapshots mergeable across
+sessions and trivially diffable between runs — there is no adaptive
+resizing to make two snapshots structurally incomparable.
+
+Everything here is stdlib-only and deliberately ignorant of the rest
+of the package: the observability layer must never import simulation
+code (no cycle, no numpy cost at import time).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import numbers
+import threading
+
+__all__ = [
+    "DEFAULT_TIME_EDGES_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default bucket edges (seconds) for duration histograms: spans in
+#: this codebase range from sub-millisecond store reads to multi-second
+#: campaign units, so a decade ladder covers the dynamic range.
+DEFAULT_TIME_EDGES_S = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+
+
+def _as_number(value) -> int | float:
+    """Coerce a numeric-ish value (incl. numpy scalars) to int/float."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    raise TypeError(f"metric values must be numeric, got {type(value).__name__}")
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def _inc(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time numeric value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int | float | None = None
+
+    def _set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-edge bucket counts plus exact count/sum of observations.
+
+    ``counts[i]`` tallies observations with ``value <= edges[i]`` (and
+    above the previous edge); ``counts[-1]`` is the overflow bucket.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total")
+
+    def __init__(self, name: str, edges) -> None:
+        cleaned = tuple(float(e) for e in edges)
+        if not cleaned:
+            raise ValueError(f"histogram {name!r} needs at least one edge")
+        if list(cleaned) != sorted(set(cleaned)):
+            raise ValueError(
+                f"histogram {name!r} edges must be strictly increasing, "
+                f"got {cleaned}"
+            )
+        self.name = name
+        self.edges = cleaned
+        self.counts = [0] * (len(cleaned) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def _observe(self, value: float) -> None:
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total += value
+
+
+class MetricsRegistry:
+    """Lazily created, lock-serialised instruments, by dotted name.
+
+    One name maps to exactly one instrument kind for the lifetime of
+    the registry; reusing a counter name as a histogram (or re-declaring
+    a histogram with different edges) raises instead of silently
+    recording into the wrong shape.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- creation / lookup ---------------------------------------------------
+
+    def _check_unique(self, name: str, table: dict) -> None:
+        for kind, instruments in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if instruments is not table and name in instruments:
+                raise ValueError(
+                    f"metric name {name!r} is already a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                self._check_unique(name, self._counters)
+                counter = self._counters[name] = Counter(name)
+            return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                self._check_unique(name, self._gauges)
+                gauge = self._gauges[name] = Gauge(name)
+            return gauge
+
+    def histogram(self, name: str, edges=DEFAULT_TIME_EDGES_S) -> Histogram:
+        """The histogram called ``name`` (edges fixed on first use)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                self._check_unique(name, self._histograms)
+                hist = self._histograms[name] = Histogram(name, edges)
+            elif hist.edges != tuple(float(e) for e in edges):
+                raise ValueError(
+                    f"histogram {name!r} already exists with edges "
+                    f"{hist.edges}, requested {tuple(edges)}"
+                )
+            return hist
+
+    # -- mutation ------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment the counter ``name`` by ``amount`` (default 1)."""
+        counter = self.counter(name)
+        with self._lock:
+            counter._inc(int(_as_number(amount)))
+
+    def set_gauge(self, name: str, value) -> None:
+        """Set the gauge ``name`` to ``value``."""
+        gauge = self.gauge(name)
+        with self._lock:
+            gauge._set(_as_number(value))
+
+    def observe(self, name: str, value, edges=DEFAULT_TIME_EDGES_S) -> None:
+        """Record one observation into the histogram ``name``."""
+        hist = self.histogram(name, edges)
+        observed = float(_as_number(value))
+        if not math.isfinite(observed):
+            # The snapshot is strict-finite JSON; a NaN/Inf observation
+            # would poison the histogram sum and fail serialisation.
+            raise ValueError(
+                f"histogram {name!r} observation must be finite, "
+                f"got {observed!r}"
+            )
+        with self._lock:
+            hist._observe(observed)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-able document."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in self._counters.items()
+                },
+                "gauges": {
+                    name: g.value for name, g in self._gauges.items()
+                },
+                "histograms": {
+                    name: {
+                        "edges": list(h.edges),
+                        "counts": list(h.counts),
+                        "count": h.count,
+                        "sum": h.total,
+                    }
+                    for name, h in self._histograms.items()
+                },
+            }
+
+    def to_json(self) -> str:
+        """Canonical strict-finite JSON rendering of :meth:`snapshot`."""
+        return json.dumps(
+            self.snapshot(), indent=2, sort_keys=True, allow_nan=False
+        )

@@ -1,0 +1,170 @@
+"""Run reports: turn a trace (file or in-memory events) into answers.
+
+A report aggregates span events by name — count, total/min/max/mean
+duration — and, when the trace came from a campaign run, reconciles
+the ``campaign.unit`` spans into the same accounting
+:class:`~repro.campaigns.runner.CampaignRunResult` reports: outcome
+counts, trials computed, and the store hit rate
+``(hit + truncated) / units``.  The CI warm-run gate is exactly this
+reconciliation: a second run of an unchanged campaign must show
+``trials_computed == 0`` and ``store_hit_rate == 1.0``.
+
+Both renderings are deterministic given the trace: the JSON form is
+canonical (sorted keys, strict-finite), the text form is sorted by
+span name.  Durations obviously differ run to run; everything else in
+a report is a pure function of the recorded events.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.trace import TRACE_VERSION
+
+__all__ = ["RunReport", "load_trace", "report_from_events", "report_from_trace"]
+
+#: Outcomes of ``store.cached_run`` that were answered from the store
+#: without recomputing every trial (top-ups recompute the tail, so they
+#: count as computed work, not hits).
+_STORE_HIT_OUTCOMES = ("hit", "truncated")
+
+
+def load_trace(path) -> list[dict]:
+    """All events from a JSON-lines trace file, meta line included.
+
+    Raises ``ValueError`` on a missing/garbled meta line or an
+    unsupported schema version — a report must never silently
+    misread a trace written by a different layout.
+    """
+    events: list[dict] = []
+    with open(pathlib.Path(path), encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a JSON trace line ({exc})"
+                ) from None
+    if not events or events[0].get("type") != "meta":
+        raise ValueError(f"{path}: missing meta line; not a repro trace?")
+    version = events[0].get("version")
+    if version != TRACE_VERSION:
+        raise ValueError(
+            f"{path}: trace version {version!r} unsupported "
+            f"(reader expects {TRACE_VERSION})"
+        )
+    return events
+
+
+class RunReport:
+    """Aggregated view of one trace: span stats + campaign accounting."""
+
+    def __init__(self, events: list[dict]) -> None:
+        self.meta = events[0] if events and events[0].get("type") == "meta" else {}
+        self.spans = [e for e in events if e.get("type") == "span"]
+        self.by_name: dict[str, dict] = {}
+        for event in self.spans:
+            stats = self.by_name.setdefault(
+                event["name"],
+                {"count": 0, "total_s": 0.0, "min_s": None, "max_s": 0.0},
+            )
+            dur = float(event.get("dur_s", 0.0))
+            stats["count"] += 1
+            stats["total_s"] += dur
+            stats["max_s"] = max(stats["max_s"], dur)
+            stats["min_s"] = dur if stats["min_s"] is None else min(stats["min_s"], dur)
+        self.campaign = self._campaign_section()
+
+    # -- campaign reconciliation --------------------------------------------
+
+    def _campaign_section(self) -> dict | None:
+        units = [s for s in self.spans if s["name"] == "campaign.unit"]
+        if not units:
+            return None
+        outcome_counts: dict[str, int] = {}
+        trials_computed = 0
+        for unit in units:
+            attrs = unit.get("attrs", {})
+            outcome = str(attrs.get("outcome", "unknown"))
+            outcome_counts[outcome] = outcome_counts.get(outcome, 0) + 1
+            trials_computed += int(attrs.get("trials_computed", 0))
+        n_units = len(units)
+        hits = sum(outcome_counts.get(o, 0) for o in _STORE_HIT_OUTCOMES)
+        return {
+            "units": n_units,
+            "outcome_counts": dict(sorted(outcome_counts.items())),
+            "trials_computed": trials_computed,
+            "store_hit_rate": hits / n_units,
+        }
+
+    # -- renderings ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The report as one JSON-able document."""
+        names = {}
+        for name in sorted(self.by_name):
+            stats = self.by_name[name]
+            names[name] = {
+                "count": stats["count"],
+                "total_s": stats["total_s"],
+                "mean_s": stats["total_s"] / stats["count"],
+                "min_s": stats["min_s"],
+                "max_s": stats["max_s"],
+            }
+        doc = {
+            "trace_version": self.meta.get("version"),
+            "n_spans": len(self.spans),
+            "spans": names,
+        }
+        if self.campaign is not None:
+            doc["campaign"] = self.campaign
+        return doc
+
+    def to_json(self) -> str:
+        """Canonical strict-finite JSON rendering."""
+        return json.dumps(
+            self.to_dict(), indent=2, sort_keys=True, allow_nan=False
+        )
+
+    def to_text(self) -> str:
+        """Human-readable table, sorted by span name."""
+        lines = [f"run report — {len(self.spans)} spans"]
+        if self.by_name:
+            width = max(len(n) for n in self.by_name)
+            header = (
+                f"  {'span':<{width}}  {'count':>7}  {'total_s':>10}  "
+                f"{'mean_s':>10}  {'max_s':>10}"
+            )
+            lines.append(header)
+            for name in sorted(self.by_name):
+                stats = self.by_name[name]
+                mean = stats["total_s"] / stats["count"]
+                lines.append(
+                    f"  {name:<{width}}  {stats['count']:>7}  "
+                    f"{stats['total_s']:>10.4f}  {mean:>10.6f}  "
+                    f"{stats['max_s']:>10.6f}"
+                )
+        if self.campaign is not None:
+            c = self.campaign
+            lines.append("")
+            lines.append("campaign")
+            lines.append(f"  units           {c['units']}")
+            for outcome, count in c["outcome_counts"].items():
+                lines.append(f"    {outcome:<14}{count}")
+            lines.append(f"  trials computed {c['trials_computed']}")
+            lines.append(f"  store hit rate  {c['store_hit_rate']:.1%}")
+        return "\n".join(lines)
+
+
+def report_from_events(events: list[dict]) -> RunReport:
+    """A :class:`RunReport` over in-memory trace events."""
+    return RunReport(events)
+
+
+def report_from_trace(path) -> RunReport:
+    """A :class:`RunReport` over a JSON-lines trace file."""
+    return RunReport(load_trace(path))

@@ -1,0 +1,275 @@
+"""Observability sessions: spans, nesting, and the global on/off switch.
+
+The whole subsystem hinges on one module-level slot, ``_SESSION``.
+When it is ``None`` (the default), every instrumentation entry point —
+:func:`span`, :func:`inc`, :func:`observe` — takes a single attribute
+load and a falsy check before returning a shared no-op object.  No
+clock read, no allocation, no lock.  That is the "null recorder" the
+perf guard (``bench_o1_obs_overhead.py``) bounds at ≤2 % overhead.
+
+When a session is started (:func:`start`), spans become real: each
+carries a process-unique id from a locked counter, nests via a
+*per-thread* stack (so parallel chunk workers build independent span
+trees without sharing state), reads :mod:`repro.obs.clock` exactly
+twice (enter + exit), and on exit emits one trace event plus a
+``span.<name>`` counter and ``span.<name>.s`` duration histogram into
+the session's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Determinism contract: nothing in this module touches an RNG, and the
+instrumented code paths never branch on anything a span returns — so
+an instrumented run produces bitwise-identical records, store bytes
+and result keys to an uninstrumented one (pinned by
+``tests/test_obs_integration.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+
+from repro.obs import clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceWriter
+
+__all__ = [
+    "NOOP_SPAN",
+    "ObsSession",
+    "current_session",
+    "inc",
+    "observe",
+    "set_gauge",
+    "span",
+    "start",
+    "stop",
+    "traced",
+]
+
+
+class _NoopSpan:
+    """The disabled-path span: every operation is a cheap no-op.
+
+    One shared instance (:data:`NOOP_SPAN`) is returned by every
+    :func:`span` call while no session is active, so the disabled path
+    allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def note(self, **attrs) -> None:
+        """Discard ``attrs`` (the live twin records them on the span)."""
+
+
+#: The shared do-nothing span handed out while observability is off.
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """One live timed region; created by :meth:`ObsSession.span`.
+
+    Use as a context manager.  The trace event is emitted at exit so a
+    span's duration and final attributes travel in one line; nesting
+    is reconstructed from ``id``/``parent``, not file order.
+    """
+
+    __slots__ = ("_session", "name", "attrs", "span_id", "parent_id", "_t0")
+
+    def __init__(self, session: "ObsSession", name: str, attrs: dict) -> None:
+        self._session = session
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self._t0 = 0.0
+
+    def note(self, **attrs) -> None:
+        """Attach or update attributes on this span before it closes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        session = self._session
+        self.span_id = session._next_id()
+        stack = session._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._t0 = clock.monotonic_s()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = clock.monotonic_s()
+        session = self._session
+        stack = session._stack()
+        # Pop our own id even if an inner span leaked (defensive: a
+        # mismatched stack must never corrupt *other* threads' trees).
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        elif self.span_id in stack:
+            stack.remove(self.span_id)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        session._finish_span(self, self._t0, t1)
+        return False
+
+
+class ObsSession:
+    """One observability run: a metrics registry plus an optional trace.
+
+    Parameters
+    ----------
+    trace_path:
+        Where to stream JSON-lines span events.  ``None`` records
+        metrics only (spans still feed counters/histograms).
+    collect_events:
+        Keep span events in memory (``writer.events``) even without a
+        file — used by in-process report tests and ``repro obs``.
+    """
+
+    def __init__(self, trace_path=None, *, collect_events: bool = False) -> None:
+        self.metrics = MetricsRegistry()
+        self.writer: TraceWriter | None = None
+        if trace_path is not None or collect_events:
+            self.writer = TraceWriter(trace_path)
+        self._id_lock = threading.Lock()
+        self._last_id = 0
+        self._local = threading.local()
+        self._t_start = clock.monotonic_s()
+
+    # -- span plumbing -------------------------------------------------------
+
+    def _next_id(self) -> int:
+        with self._id_lock:
+            self._last_id += 1
+            return self._last_id
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _finish_span(self, span: _Span, t0: float, t1: float) -> None:
+        dur = t1 - t0
+        self.metrics.inc(f"span.{span.name}")
+        self.metrics.observe(f"span.{span.name}.s", dur)
+        if self.writer is not None:
+            self.writer.write(
+                {
+                    "type": "span",
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "t0_s": t0 - self._t_start,
+                    "dur_s": dur,
+                    "attrs": span.attrs,
+                }
+            )
+
+    # -- public API ----------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _Span:
+        """A new timed region named ``name`` (use as a context manager)."""
+        return _Span(self, name, attrs)
+
+    def close(self) -> None:
+        """Flush and close the trace writer (idempotent)."""
+        if self.writer is not None:
+            self.writer.close()
+
+
+# -- global session ----------------------------------------------------------
+
+#: The active session, or ``None`` (observability disabled — default).
+_SESSION: ObsSession | None = None
+_SESSION_LOCK = threading.Lock()
+
+
+def start(trace_path=None, *, collect_events: bool = False) -> ObsSession:
+    """Start (and install) the global observability session.
+
+    Starting while a session is already active replaces it after
+    closing the old one — the common case is one session per CLI
+    invocation, so last-start-wins keeps the API un-fussy.
+    """
+    global _SESSION
+    session = ObsSession(trace_path, collect_events=collect_events)
+    with _SESSION_LOCK:
+        previous, _SESSION = _SESSION, session
+    if previous is not None:
+        previous.close()
+    return session
+
+
+def stop() -> ObsSession | None:
+    """Stop the global session, close its trace, and return it."""
+    global _SESSION
+    with _SESSION_LOCK:
+        session, _SESSION = _SESSION, None
+    if session is not None:
+        session.close()
+    return session
+
+
+def current_session() -> ObsSession | None:
+    """The active global session, or ``None`` when disabled."""
+    return _SESSION
+
+
+def span(name: str, **attrs):
+    """A span on the global session, or :data:`NOOP_SPAN` when disabled.
+
+    The disabled path is the hot path: one global load, one ``is None``
+    check, return a shared object.  Keep it that way.
+    """
+    session = _SESSION
+    if session is None:
+        return NOOP_SPAN
+    return session.span(name, **attrs)
+
+
+def inc(name: str, amount: int = 1) -> None:
+    """Increment a counter on the global session (no-op when disabled)."""
+    session = _SESSION
+    if session is not None:
+        session.metrics.inc(name, amount)
+
+
+def observe(name: str, value, **kwargs) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    session = _SESSION
+    if session is not None:
+        session.metrics.observe(name, value, **kwargs)
+
+
+def set_gauge(name: str, value) -> None:
+    """Set a gauge on the global session (no-op when disabled)."""
+    session = _SESSION
+    if session is not None:
+        session.metrics.set_gauge(name, value)
+
+
+def traced(name: str | None = None, **span_attrs):
+    """Decorator: wrap a callable in a span named after it.
+
+    ``@traced()`` uses the function's qualified name; ``@traced("x")``
+    overrides it.  Extra keyword arguments become static span attrs.
+    """
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            session = _SESSION
+            if session is None:
+                return fn(*args, **kwargs)
+            with session.span(span_name, **span_attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

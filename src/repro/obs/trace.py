@@ -1,0 +1,152 @@
+"""JSON-lines trace writer: thread-safe, canonical, strict-finite.
+
+A trace is one event per line.  The first line is always a ``meta``
+event pinning the schema version and the clock contract; every later
+line is a ``span`` event emitted when a span *closes* (so children
+appear before their parents — readers reconstruct nesting from the
+``id``/``parent`` fields, not from file order):
+
+.. code-block:: json
+
+    {"clock":"monotonic","type":"meta","version":1}
+    {"attrs":{"outcome":"hit"},"dur_s":0.0003,"id":2,"name":"store.get",
+     "parent":1,"t0_s":0.012,"type":"span"}
+
+Timestamps are **relative to the session start** on the process-local
+monotonic clock (:mod:`repro.obs.clock`) — a trace never contains wall
+time, so diffing two traces of the same run shows only genuine timing
+differences, not when you happened to run them.
+
+Every line is serialised with the repo's canonical JSON discipline
+(sorted keys, ``allow_nan=False``, compact separators); non-finite
+attribute values are wrapped in the same ``{"$nonfinite": ...}``
+sentinels the result store uses.  Writing is serialised through one
+lock so spans closing on different threads interleave as whole lines,
+never as torn ones.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import numbers
+import pathlib
+import threading
+
+__all__ = ["TRACE_VERSION", "TraceWriter", "sanitize"]
+
+#: Trace schema version stamped into the meta line.
+TRACE_VERSION = 1
+
+#: Sentinel key wrapping non-finite floats (mirrors
+#: ``repro.experiments.results.NONFINITE_KEY`` without importing it —
+#: the observability layer stays free of simulation imports).
+NONFINITE_KEY = "$nonfinite"
+
+
+def sanitize(value):
+    """``value`` as a JSON-able, strict-finite document.
+
+    Scalars are canonicalised (numpy integers/floats become python
+    ints/floats via :mod:`numbers`, non-finite floats become
+    ``{"$nonfinite": ...}`` sentinels), containers recurse, and
+    anything else falls back to ``str`` — a trace attribute must never
+    be able to crash the traced code.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        out = float(value)
+        if math.isnan(out):
+            return {NONFINITE_KEY: "nan"}
+        if out == math.inf:
+            return {NONFINITE_KEY: "inf"}
+        if out == -math.inf:
+            return {NONFINITE_KEY: "-inf"}
+        return out
+    if isinstance(value, dict):
+        return {str(k): sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(v) for v in value]
+    # numpy scalars outside the numbers ABCs (np.bool_) unwrap to
+    # python scalars via .item() — without this module importing numpy.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            unwrapped = item()
+        except (TypeError, ValueError):
+            return str(value)
+        if type(unwrapped) is not type(value):
+            return sanitize(unwrapped)
+    return str(value)
+
+
+def encode_event(event: dict) -> str:
+    """One canonical JSON line (no newline) for ``event``."""
+    return json.dumps(
+        sanitize(event),
+        sort_keys=True,
+        allow_nan=False,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+
+
+class TraceWriter:
+    """Append-only JSON-lines sink, buffered and lock-serialised.
+
+    Parameters
+    ----------
+    path:
+        Destination file (opened eagerly, truncating).  ``None`` keeps
+        events in memory only — :attr:`events` — which is what the
+        in-process report tests use.
+    clock_label:
+        Free-text description of the time base, stamped into the meta
+        line (the default documents the monotonic contract).
+    """
+
+    #: Buffered event lines are flushed to disk every this many events,
+    #: so a crashed run still leaves a mostly-complete trace behind.
+    FLUSH_EVERY = 64
+
+    def __init__(self, path=None, *, clock_label: str = "monotonic") -> None:
+        self._lock = threading.Lock()
+        self._closed = False
+        self._pending = 0
+        self.path = pathlib.Path(path) if path is not None else None
+        self.events: list[dict] = []
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+        self.write(
+            {"type": "meta", "version": TRACE_VERSION, "clock": clock_label}
+        )
+
+    def write(self, event: dict) -> None:
+        """Append one event (one line), thread-safely."""
+        line = encode_event(event)
+        with self._lock:
+            if self._closed:
+                raise ValueError("trace writer is closed")
+            self.events.append(event)
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+                self._pending += 1
+                if self._pending >= self.FLUSH_EVERY:
+                    self._fh.flush()
+                    self._pending = 0
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.experiments.results import ResultTable
 from repro.store.keys import ResultKey, result_key
 from repro.store.store import ResultStore
@@ -104,6 +105,15 @@ def cached_run(
     n = runner.max_trials
     key = result_key(spec, runner.trial, n, seed, code_version)
 
+    with obs.span("store.cached_run", key=key.digest, n_trials=n) as sp:
+        result = _cached_run(store, runner, spec, seed, key, n)
+        sp.note(outcome=result.outcome, trials_computed=result.trials_computed)
+        obs.inc(f"cached_run.{result.outcome}")
+        obs.inc("cached_run.trials_computed", result.trials_computed)
+        return result
+
+
+def _cached_run(store, runner, spec, seed, key, n) -> CachedRun:
     exact = store.get(key)
     if exact is not None:
         return CachedRun(exact, "hit", 0, key)

@@ -40,6 +40,7 @@ import logging
 import os
 import pathlib
 
+from repro import obs
 from repro.experiments.results import ResultTable
 from repro.store.codec import CodecError, decode, encode
 from repro.store.keys import ResultKey
@@ -134,31 +135,44 @@ class ResultStore:
         the next ``put`` repairs the entry.  A readable legacy JSON
         payload is migrated to the binary format on the way out.
         """
-        path = self.path_for(key)
-        if path.is_file():
-            try:
-                return decode(path.read_bytes())
-            except (CodecError, OSError) as exc:
-                log.warning(
-                    "store entry %s is unreadable (%s); treating as a miss",
-                    path, exc,
-                )
-                return None
-        legacy = self.legacy_path_for(key)
-        if legacy.is_file():
-            try:
-                table = ResultTable.from_json(legacy.read_text())
-            except (ValueError, KeyError, TypeError, UnicodeDecodeError,
-                    OSError) as exc:
-                log.warning(
-                    "legacy store entry %s is unreadable (%s); "
-                    "treating as a miss",
-                    legacy, exc,
-                )
-                return None
-            _atomic_write_bytes(path, encode(table))
-            return table
-        return None
+        with obs.span("store.get", key=key.digest, n_trials=key.n_trials) as sp:
+            path = self.path_for(key)
+            if path.is_file():
+                try:
+                    table = decode(path.read_bytes())
+                except (CodecError, OSError) as exc:
+                    obs.inc("store.corrupt")
+                    sp.note(result="corrupt")
+                    log.warning(
+                        "store entry %s (key %s) is unreadable (%s); "
+                        "treating as a miss",
+                        path, key.digest, exc,
+                    )
+                    return None
+                obs.inc("store.get.hit")
+                sp.note(result="hit")
+                return table
+            legacy = self.legacy_path_for(key)
+            if legacy.is_file():
+                try:
+                    table = ResultTable.from_json(legacy.read_text())
+                except (ValueError, KeyError, TypeError, UnicodeDecodeError,
+                        OSError) as exc:
+                    obs.inc("store.corrupt")
+                    sp.note(result="corrupt")
+                    log.warning(
+                        "legacy store entry %s (key %s) is unreadable (%s); "
+                        "treating as a miss",
+                        legacy, key.digest, exc,
+                    )
+                    return None
+                _atomic_write_bytes(path, encode(table))
+                obs.inc("store.get.migrated")
+                sp.note(result="migrated")
+                return table
+            obs.inc("store.get.miss")
+            sp.note(result="miss")
+            return None
 
     def put(self, key: ResultKey, table: ResultTable) -> pathlib.Path:
         """Store ``table`` under ``key`` (atomic; returns the path).
@@ -172,9 +186,11 @@ class ResultStore:
                 f"table has {len(table)} records but the key says "
                 f"{key.n_trials} trials"
             )
-        path = self.path_for(key)
-        _atomic_write_bytes(path, encode(table))
-        return path
+        with obs.span("store.put", key=key.digest, n_trials=key.n_trials):
+            obs.inc("store.put")
+            path = self.path_for(key)
+            _atomic_write_bytes(path, encode(table))
+            return path
 
     # -- prefix queries (top-up / truncation) --------------------------------
 

@@ -222,13 +222,42 @@ class TestDetRules:
         """
         assert rule_ids(findings_for(src, PKG)) == ["DET001"]
 
-    def test_det001_perf_counter_allowed(self):
+    def test_det001_perf_counter_is_det004_business(self):
+        # A perf_counter read in package code is not a *wall-clock*
+        # finding — it trips the blessed-clock rule instead.
         src = "import time\nt0 = time.perf_counter()\n"
-        assert rule_ids(findings_for(src, PKG)) == []
+        assert rule_ids(findings_for(src, PKG)) == ["DET004"]
 
     def test_det001_not_enforced_in_tests(self):
         src = "import time\nstamp = time.time()\n"
         assert rule_ids(findings_for(src, TEST)) == []
+
+    def test_det004_monotonic_reads_flagged_in_package(self):
+        for call in ("perf_counter", "perf_counter_ns",
+                     "monotonic", "monotonic_ns"):
+            src = f"import time\nt0 = time.{call}()\n"
+            assert rule_ids(findings_for(src, PKG)) == ["DET004"], call
+
+    def test_det004_aliased_import_resolved(self):
+        src = "from time import monotonic as mono\nt0 = mono()\n"
+        assert rule_ids(findings_for(src, PKG)) == ["DET004"]
+
+    def test_det004_not_enforced_in_benchmarks_or_tests(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert rule_ids(findings_for(src, TEST)) == []
+        assert rule_ids(findings_for(src, "benchmarks/bench_x.py")) == []
+
+    def test_det004_blessed_clock_carries_suppressions(self):
+        # The one sanctioned implementation site: repro/obs/clock.py
+        # reads the clock under justified suppressions, so the findings
+        # exist but are marked suppressed.
+        import pathlib
+
+        source = pathlib.Path("src/repro/obs/clock.py").read_text()
+        out = findings_for(source, "src/repro/obs/clock.py")
+        det004 = [f for f in out if f.rule == "DET004"]
+        assert len(det004) == 2
+        assert all(f.suppressed for f in det004)
 
     def test_det002_bare_set_iteration(self):
         src = "for x in {3, 1, 2}:\n    print(x)\n"
@@ -319,6 +348,7 @@ class TestSerRules:
         for path in (
             "src/repro/campaigns/runner.py",
             "src/repro/experiments/results.py",
+            "src/repro/obs/trace.py",
         ):
             found = rule_ids(findings_for(src, path))
             assert found == ["SER001", "SER002"], path

@@ -1,0 +1,464 @@
+"""Unit tests for ``repro.obs``: clock, metrics, traces, sessions, reports.
+
+The contracts pinned here are the ones the instrumented stack leans
+on: the disabled path allocates nothing and returns one shared no-op
+span, span events nest via ids and serialise canonically, metrics
+snapshots are strict-finite JSON, and a run report is a pure function
+of the trace it reads.
+"""
+
+import json
+import logging
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import RunReport, load_trace
+from repro.obs.trace import TraceWriter, encode_event, sanitize
+
+
+@pytest.fixture(autouse=True)
+def _no_session_leak():
+    """Every test starts and ends with observability disabled."""
+    obs.stop()
+    yield
+    obs.stop()
+
+
+class TestClock:
+    def test_monotonic_s_advances(self):
+        a = clock.monotonic_s()
+        b = clock.monotonic_s()
+        assert isinstance(a, float)
+        assert b >= a
+
+    def test_monotonic_ns_advances(self):
+        a = clock.monotonic_ns()
+        b = clock.monotonic_ns()
+        assert isinstance(a, int)
+        assert b >= a
+
+
+class TestMetricsRegistry:
+    def test_counter_lazy_and_incrementing(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b")
+        reg.inc("a.b", 4)
+        assert reg.snapshot()["counters"] == {"a.b": 5}
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.inc("a", -1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 3)
+        reg.set_gauge("g", 7.5)
+        assert reg.snapshot()["gauges"] == {"g": 7.5}
+
+    def test_histogram_bucketing(self):
+        reg = MetricsRegistry()
+        edges = (1.0, 10.0)
+        for v in (0.5, 1.0, 2.0, 100.0):
+            reg.observe("h", v, edges=edges)
+        h = reg.snapshot()["histograms"]["h"]
+        # bucket rule: value <= edge; last bucket is overflow
+        assert h["edges"] == [1.0, 10.0]
+        assert h["counts"] == [2, 1, 1]
+        assert h["count"] == 4
+        assert h["sum"] == pytest.approx(103.5)
+
+    def test_histogram_edges_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("h", edges=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one edge"):
+            reg.histogram("h2", edges=())
+
+    def test_histogram_redeclare_different_edges_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0,))
+        with pytest.raises(ValueError, match="already exists"):
+            reg.histogram("h", edges=(2.0,))
+
+    def test_name_cannot_change_kind(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(ValueError, match="already a counter"):
+            reg.set_gauge("x", 1)
+
+    def test_nonfinite_observation_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="finite"):
+            reg.observe("h", float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            reg.observe("h", float("inf"))
+
+    def test_numpy_scalars_coerced(self):
+        reg = MetricsRegistry()
+        reg.inc("c", np.int64(3))
+        reg.set_gauge("g", np.float64(1.5))
+        reg.observe("h", np.float32(0.25), edges=(1.0,))
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 1.5
+        # the snapshot must be plain-python JSON-able
+        json.loads(reg.to_json())
+
+    def test_non_numeric_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TypeError, match="numeric"):
+            reg.set_gauge("g", "fast")
+
+    def test_to_json_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        text = reg.to_json()
+        assert json.loads(text) == reg.snapshot()
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_thread_safety_no_lost_increments(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot()["counters"]["n"] == 4000
+
+
+class TestSanitize:
+    def test_scalars_pass_through(self):
+        assert sanitize(None) is None
+        assert sanitize(True) is True
+        assert sanitize("s") == "s"
+        assert sanitize(3) == 3
+        assert sanitize(1.5) == 1.5
+
+    def test_numpy_scalars_become_python(self):
+        assert sanitize(np.int64(3)) == 3
+        assert type(sanitize(np.int64(3))) is int
+        assert sanitize(np.float64(0.5)) == 0.5
+        assert type(sanitize(np.float64(0.5))) is float
+        assert sanitize(np.bool_(True)) in (True, 1)
+
+    def test_nonfinite_sentinels(self):
+        assert sanitize(float("nan")) == {"$nonfinite": "nan"}
+        assert sanitize(float("inf")) == {"$nonfinite": "inf"}
+        assert sanitize(float("-inf")) == {"$nonfinite": "-inf"}
+
+    def test_containers_recurse(self):
+        out = sanitize({"a": [np.int64(1), float("inf")], 2: "x"})
+        assert out == {"a": [1, {"$nonfinite": "inf"}], "2": "x"}
+
+    def test_unknown_objects_stringified(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert sanitize(Weird()) == "<weird>"
+
+    def test_encode_event_canonical_compact(self):
+        line = encode_event({"b": 1, "a": float("nan")})
+        assert line == '{"a":{"$nonfinite":"nan"},"b":1}'
+
+
+class TestTraceWriter:
+    def test_meta_line_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TraceWriter(path)
+        w.write({"type": "span", "id": 1})
+        w.close()
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta == {"clock": "monotonic", "type": "meta", "version": 1}
+        assert json.loads(lines[1])["id"] == 1
+
+    def test_in_memory_mode(self):
+        w = TraceWriter(None)
+        w.write({"type": "span", "id": 1})
+        assert [e["type"] for e in w.events] == ["meta", "span"]
+        w.close()
+
+    def test_write_after_close_raises(self, tmp_path):
+        w = TraceWriter(tmp_path / "t.jsonl")
+        w.close()
+        w.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            w.write({"type": "span"})
+
+    def test_parent_dirs_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        TraceWriter(path).close()
+        assert path.is_file()
+
+
+class TestSessionApi:
+    def test_disabled_by_default(self):
+        assert obs.current_session() is None
+        assert obs.span("anything", k=1) is obs.NOOP_SPAN
+
+    def test_noop_span_is_shared_and_inert(self):
+        a = obs.span("x")
+        b = obs.span("y")
+        assert a is b is obs.NOOP_SPAN
+        with a as sp:
+            sp.note(whatever=1)  # swallowed
+
+    def test_disabled_metric_calls_are_noops(self):
+        obs.inc("c")
+        obs.observe("h", 1.0)
+        obs.set_gauge("g", 2)  # nothing raises, nothing recorded
+
+    def test_start_stop_round_trip(self):
+        session = obs.start(collect_events=True)
+        assert obs.current_session() is session
+        assert obs.stop() is session
+        assert obs.current_session() is None
+        assert obs.stop() is None
+
+    def test_span_nesting_ids(self):
+        session = obs.start(collect_events=True)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.stop()
+        spans = {e["name"]: e for e in session.writer.events
+                 if e["type"] == "span"}
+        assert spans["outer"]["parent"] is None
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["inner"]["id"] != spans["outer"]["id"]
+
+    def test_children_emitted_before_parents(self):
+        session = obs.start(collect_events=True)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.stop()
+        names = [e["name"] for e in session.writer.events
+                 if e["type"] == "span"]
+        assert names == ["inner", "outer"]
+
+    def test_span_attrs_and_note(self):
+        session = obs.start(collect_events=True)
+        with obs.span("s", static=1) as sp:
+            sp.note(outcome="hit")
+        obs.stop()
+        (event,) = [e for e in session.writer.events if e["type"] == "span"]
+        assert event["attrs"] == {"static": 1, "outcome": "hit"}
+        assert event["dur_s"] >= 0.0
+        assert event["t0_s"] >= 0.0
+
+    def test_span_records_exception_and_propagates(self):
+        session = obs.start(collect_events=True)
+        with pytest.raises(RuntimeError):
+            with obs.span("boom"):
+                raise RuntimeError("no")
+        obs.stop()
+        (event,) = [e for e in session.writer.events if e["type"] == "span"]
+        assert event["attrs"]["error"] == "RuntimeError"
+
+    def test_spans_feed_metrics(self):
+        session = obs.start()
+        with obs.span("work"):
+            pass
+        with obs.span("work"):
+            pass
+        obs.stop()
+        snap = session.metrics.snapshot()
+        assert snap["counters"]["span.work"] == 2
+        assert snap["histograms"]["span.work.s"]["count"] == 2
+
+    def test_metrics_only_session_has_no_writer(self):
+        session = obs.start()
+        with obs.span("x"):
+            pass
+        obs.stop()
+        assert session.writer is None
+
+    def test_thread_local_nesting(self):
+        session = obs.start(collect_events=True)
+        ready = threading.Barrier(2)
+        done = []
+
+        def worker(name):
+            ready.wait()
+            with obs.span(name):
+                done.append(name)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",))
+            for i in range(2)
+        ]
+        with obs.span("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        obs.stop()
+        spans = {e["name"]: e for e in session.writer.events
+                 if e["type"] == "span"}
+        # worker spans run on their own threads: no parent, never
+        # children of "main" (which lives on the pytest thread)
+        assert spans["t0"]["parent"] is None
+        assert spans["t1"]["parent"] is None
+        assert len({spans[n]["id"] for n in ("main", "t0", "t1")}) == 3
+
+    def test_traced_decorator(self):
+        @obs.traced("math.add", flavor="test")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3  # disabled: plain call
+        session = obs.start(collect_events=True)
+        assert add(3, 4) == 7
+        obs.stop()
+        (event,) = [e for e in session.writer.events if e["type"] == "span"]
+        assert event["name"] == "math.add"
+        assert event["attrs"] == {"flavor": "test"}
+
+    def test_traced_default_name(self):
+        @obs.traced()
+        def helper():
+            return 1
+
+        session = obs.start(collect_events=True)
+        helper()
+        obs.stop()
+        (event,) = [e for e in session.writer.events if e["type"] == "span"]
+        assert "helper" in event["name"]
+
+    def test_restart_replaces_and_closes_previous(self, tmp_path):
+        first = obs.start(trace_path=tmp_path / "a.jsonl")
+        second = obs.start(trace_path=tmp_path / "b.jsonl")
+        assert obs.current_session() is second
+        # first's writer was closed by the replacement
+        with pytest.raises(ValueError, match="closed"):
+            first.writer.write({"type": "span"})
+        obs.stop()
+
+
+class TestRunReport:
+    def _events(self):
+        return [
+            {"type": "meta", "version": 1, "clock": "monotonic"},
+            {"type": "span", "id": 1, "parent": None, "name": "a",
+             "t0_s": 0.0, "dur_s": 0.5, "attrs": {}},
+            {"type": "span", "id": 2, "parent": None, "name": "a",
+             "t0_s": 1.0, "dur_s": 1.5, "attrs": {}},
+            {"type": "span", "id": 3, "parent": None, "name": "b",
+             "t0_s": 2.0, "dur_s": 0.25, "attrs": {}},
+        ]
+
+    def test_span_aggregation(self):
+        report = RunReport(self._events())
+        doc = report.to_dict()
+        assert doc["n_spans"] == 3
+        a = doc["spans"]["a"]
+        assert a["count"] == 2
+        assert a["total_s"] == pytest.approx(2.0)
+        assert a["mean_s"] == pytest.approx(1.0)
+        assert a["min_s"] == pytest.approx(0.5)
+        assert a["max_s"] == pytest.approx(1.5)
+
+    def test_no_campaign_section_without_units(self):
+        report = RunReport(self._events())
+        assert report.campaign is None
+        assert "campaign" not in report.to_dict()
+
+    def test_campaign_reconciliation(self):
+        events = self._events() + [
+            {"type": "span", "id": 4, "parent": None,
+             "name": "campaign.unit", "t0_s": 0, "dur_s": 0.1,
+             "attrs": {"outcome": "hit", "trials_computed": 0}},
+            {"type": "span", "id": 5, "parent": None,
+             "name": "campaign.unit", "t0_s": 0, "dur_s": 0.1,
+             "attrs": {"outcome": "truncated", "trials_computed": 0}},
+            {"type": "span", "id": 6, "parent": None,
+             "name": "campaign.unit", "t0_s": 0, "dur_s": 0.1,
+             "attrs": {"outcome": "topup", "trials_computed": 40}},
+            {"type": "span", "id": 7, "parent": None,
+             "name": "campaign.unit", "t0_s": 0, "dur_s": 0.1,
+             "attrs": {"outcome": "miss", "trials_computed": 100}},
+        ]
+        c = RunReport(events).campaign
+        assert c["units"] == 4
+        assert c["outcome_counts"] == {
+            "hit": 1, "truncated": 1, "topup": 1, "miss": 1,
+        }
+        assert c["trials_computed"] == 140
+        # hits + truncations are store hits; top-ups compute work
+        assert c["store_hit_rate"] == pytest.approx(0.5)
+
+    def test_text_and_json_renderings(self):
+        report = RunReport(self._events())
+        text = report.to_text()
+        assert "3 spans" in text
+        assert "a" in text and "b" in text
+        doc = json.loads(report.to_json())
+        assert doc == report.to_dict()
+
+    def test_load_trace_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.start(trace_path=path)
+        with obs.span("x"):
+            pass
+        obs.stop()
+        events = load_trace(path)
+        assert events[0]["type"] == "meta"
+        assert events[1]["name"] == "x"
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not a JSON trace line"):
+            load_trace(path)
+
+    def test_load_trace_rejects_missing_meta(self, tmp_path):
+        path = tmp_path / "no-meta.jsonl"
+        path.write_text('{"type":"span","id":1}\n')
+        with pytest.raises(ValueError, match="missing meta"):
+            load_trace(path)
+
+    def test_load_trace_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "vnext.jsonl"
+        path.write_text('{"type":"meta","version":999}\n')
+        with pytest.raises(ValueError, match="version 999"):
+            load_trace(path)
+
+
+class TestLogConfig:
+    def test_verbosity_mapping(self):
+        from repro.obs import verbosity_to_level
+
+        assert verbosity_to_level(-2) == logging.ERROR
+        assert verbosity_to_level(-1) == logging.ERROR
+        assert verbosity_to_level(0) == logging.WARNING
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(5) == logging.DEBUG
+
+    def test_configure_is_idempotent(self):
+        from repro.obs import configure_logging
+        from repro.obs.logconfig import _HANDLER_TAG
+
+        logger = configure_logging(1)
+        logger = configure_logging(0)
+        ours = [
+            h for h in logger.handlers if getattr(h, _HANDLER_TAG, False)
+        ]
+        assert len(ours) == 1
+        assert logger.level == logging.WARNING
+        # caplog compatibility: propagation must stay on
+        assert logger.propagate
